@@ -1,0 +1,29 @@
+# Convenience targets for the Horus reproduction.
+
+PYTHON ?= python
+
+.PHONY: test bench bench-full experiments experiments-full examples lint clean
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-full:
+	REPRO_BENCH_SCALE=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+experiments:
+	$(PYTHON) -m repro.experiments.runner
+
+experiments-full:
+	$(PYTHON) -m repro.experiments.runner --scale 1 --output results
+
+examples:
+	for script in examples/*.py; do \
+		echo "== $$script"; $(PYTHON) $$script || exit 1; \
+	done
+
+clean:
+	find . -name __pycache__ -type d -prune -exec rm -rf {} +
+	rm -rf .pytest_cache .hypothesis .benchmarks

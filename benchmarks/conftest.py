@@ -1,0 +1,42 @@
+"""Benchmark fixtures.
+
+The figure/table benchmarks share one memoized drain suite at 1/16 scale —
+the calibration point where the simulated Base-LU already shows the paper's
+~10x memory-request explosion (full scale reproduces 10.13x vs the paper's
+10.3x; see EXPERIMENTS.md).  Set ``REPRO_BENCH_SCALE=1`` to run the
+benchmarks at the paper's full Table I configuration (~2 minutes).
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.suite import DrainSuite
+
+BENCH_SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "16"))
+
+
+@pytest.fixture(scope="session")
+def suite() -> DrainSuite:
+    return DrainSuite(scale=BENCH_SCALE)
+
+
+@pytest.fixture(scope="session")
+def sweep_suite() -> DrainSuite:
+    """Separate suite for the LLC sweeps and multi-drain ablations.
+
+    These run several times the drains of the single-config benchmarks, so
+    they keep a 1/32 floor even under ``REPRO_BENCH_SCALE=1`` (the
+    full-scale sweep lives in ``python -m repro --scale 1``).
+    """
+    return DrainSuite(scale=max(BENCH_SCALE, 32))
+
+
+def report_result(benchmark, result) -> None:
+    """Attach the regenerated table to the benchmark record and print it."""
+    benchmark.extra_info["experiment"] = result.experiment_id
+    benchmark.extra_info["checks"] = [str(check) for check in result.checks]
+    print()
+    print(result.to_text())
+    failed = [check for check in result.checks if not check.passed]
+    assert not failed, failed

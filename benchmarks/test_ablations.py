@@ -1,0 +1,38 @@
+"""Benchmarks: the beyond-paper ablation studies (DESIGN.md Section 6).
+
+Each regenerates one ablation table and asserts its shape checks, mirroring
+the figure benchmarks.  These quantify the design arguments around Horus:
+spatial-locality obliviousness, the metadata-cache dead end, the coalescing
+trade-off, the ADR/BBB/EPD spectrum, wear, memory parallelism, run-time
+neutrality, and the drain-vs-recovery availability trade.
+"""
+
+import pytest
+
+from benchmarks.conftest import report_result
+from repro.experiments import ablations
+from repro.experiments.adr_comparison import run as run_adr
+from repro.experiments.availability import run as run_availability
+from repro.experiments.parallelism import run as run_parallelism
+from repro.experiments.runtime_overhead import run as run_runtime
+from repro.experiments.scheduling import run as run_scheduling
+from repro.experiments.wear import run as run_wear
+
+CASES = {
+    "scheduler": run_scheduling,
+    "locality": ablations.run_locality,
+    "metadata-cache": ablations.run_metadata_cache,
+    "coalescing": ablations.run_coalescing,
+    "adr-vs-epd": run_adr,
+    "wear": run_wear,
+    "parallelism": run_parallelism,
+    "runtime": run_runtime,
+    "availability": run_availability,
+}
+
+
+@pytest.mark.parametrize("name", list(CASES), ids=list(CASES))
+def test_ablation(benchmark, sweep_suite, name):
+    result = benchmark.pedantic(CASES[name], args=(sweep_suite,),
+                                rounds=1, iterations=1)
+    report_result(benchmark, result)

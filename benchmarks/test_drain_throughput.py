@@ -1,0 +1,27 @@
+"""Honest wall-clock benchmarks of the drain engines themselves.
+
+Unlike the figure benchmarks (which regenerate the paper's *simulated*
+numbers), these time the Python simulator, scheme by scheme, over identical
+worst-case hierarchies — useful for tracking simulator performance
+regressions and for comparing scheme complexity directly.
+"""
+
+import pytest
+
+from repro.common.config import SystemConfig
+from repro.core.system import SCHEMES, SecureEpdSystem
+
+CONFIG = SystemConfig.scaled(128)
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_drain_wall_clock(benchmark, scheme):
+    def drain_once():
+        system = SecureEpdSystem(CONFIG, scheme=scheme)
+        system.fill_worst_case(seed=1)
+        return system.crash(seed=2)
+
+    report = benchmark.pedantic(drain_once, rounds=3, iterations=1)
+    assert report.flushed_blocks == CONFIG.total_cache_lines
+    benchmark.extra_info["simulated_ms"] = report.milliseconds
+    benchmark.extra_info["memory_requests"] = report.total_memory_requests

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 11 (normalized drain time).
+
+Paper series: Base-EU/Base-LU drain 5.1x/4.5x slower than Horus; Horus cuts
+the secure hold-up from 8.6x of non-secure to 1.7x.  This reproduction
+measures Base-LU ~5.2x slower than Horus-SLM and Horus at ~1.35x non-secure.
+"""
+
+from benchmarks.conftest import report_result
+from repro.experiments.fig11_drain_time import run as run_fig11
+
+
+def test_fig11_drain_time(benchmark, suite):
+    result = benchmark.pedantic(run_fig11, args=(suite,),
+                                rounds=1, iterations=1)
+    report_result(benchmark, result)

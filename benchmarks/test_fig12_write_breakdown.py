@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 12 (memory-write breakdown per scheme).
+
+Paper series: baseline writes dominated by integrity-tree/counter evictions;
+Horus-SLM writes 8x more CHV MAC blocks than Horus-DLM; the end-of-drain
+metadata-cache flush is negligible everywhere.
+"""
+
+from benchmarks.conftest import report_result
+from repro.experiments.fig12_write_breakdown import run as run_fig12
+
+
+def test_fig12_write_breakdown(benchmark, suite):
+    result = benchmark.pedantic(run_fig12, args=(suite,),
+                                rounds=1, iterations=1)
+    report_result(benchmark, result)

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 13 (MAC-calculation breakdown per scheme).
+
+Paper series: Base-EU spends the most MACs (tree updates dominate); Base-LU
+is dominated by verification MACs; Horus MACs are the per-flushed-line CHV
+MACs with DLM at exactly 1.125x SLM.
+"""
+
+from benchmarks.conftest import report_result
+from repro.experiments.fig13_mac_breakdown import run as run_fig13
+
+
+def test_fig13_mac_breakdown(benchmark, suite):
+    result = benchmark.pedantic(run_fig13, args=(suite,),
+                                rounds=1, iterations=1)
+    report_result(benchmark, result)

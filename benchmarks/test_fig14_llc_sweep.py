@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 14 (memory requests vs LLC size).
+
+Paper series: across 8/16/32 MB LLCs, Horus needs >= 7.0x fewer memory
+requests than Base-LU, normalized per LLC size.
+"""
+
+from benchmarks.conftest import report_result
+from repro.experiments.fig14_15_llc_sweep import run_fig14
+
+
+def test_fig14_llc_sweep(benchmark, sweep_suite):
+    result = benchmark.pedantic(run_fig14, args=(sweep_suite,),
+                                rounds=1, iterations=1)
+    report_result(benchmark, result)

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 15 (MAC calculations vs LLC size).
+
+Paper series: across 8/16/32 MB LLCs, Horus computes >= 5.8x fewer MACs
+than Base-LU, normalized per LLC size.
+"""
+
+from benchmarks.conftest import report_result
+from repro.experiments.fig14_15_llc_sweep import run_fig15
+
+
+def test_fig15_mac_sweep(benchmark, sweep_suite):
+    result = benchmark.pedantic(run_fig15, args=(sweep_suite,),
+                                rounds=1, iterations=1)
+    report_result(benchmark, result)

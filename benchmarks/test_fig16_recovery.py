@@ -1,0 +1,31 @@
+"""Benchmark: regenerate Figure 16 (Horus recovery time vs LLC size).
+
+Paper series: recovery stays under 0.51 s (SLM) / 0.48 s (DLM) even at a
+128 MB LLC.  This reproduction computes 0.510 s / 0.485 s from the same
+Table I parameters, and additionally times the *functional* recovery engine
+end to end at test scale.
+"""
+
+from benchmarks.conftest import report_result
+from repro.core.system import SecureEpdSystem
+from repro.experiments.fig16_recovery_time import run as run_fig16
+
+
+def test_fig16_recovery_estimates(benchmark, suite):
+    result = benchmark.pedantic(run_fig16, args=(suite,),
+                                rounds=1, iterations=1)
+    report_result(benchmark, result)
+
+
+def test_functional_recovery_throughput(benchmark, suite):
+    """Wall-clock of the real read-verify-decrypt-refill recovery loop."""
+    def crash_then_recover():
+        system = SecureEpdSystem(suite.config(), scheme="horus-dlm")
+        system.fill_worst_case(seed=1)
+        system.crash(seed=2)
+        return system.recover()
+
+    report = benchmark.pedantic(crash_then_recover, rounds=1, iterations=1)
+    assert report.blocks_restored >= suite.config().total_cache_lines
+    benchmark.extra_info["blocks_restored"] = report.blocks_restored
+    benchmark.extra_info["simulated_seconds"] = report.seconds

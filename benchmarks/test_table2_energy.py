@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Table II (drain energy breakdown).
+
+Paper rows (J, full scale): Base-LU 11.07, Base-EU 12.39, Horus-SLM 2.45,
+Horus-DLM 2.38 — processor energy dominating and tracking drain time.
+Energies scale with the configuration; the shape checks are scale-free.
+"""
+
+from benchmarks.conftest import report_result
+from repro.experiments.table2_energy import run as run_table2
+
+
+def test_table2_energy(benchmark, suite):
+    result = benchmark.pedantic(run_table2, args=(suite,),
+                                rounds=1, iterations=1)
+    report_result(benchmark, result)

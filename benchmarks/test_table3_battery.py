@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table III (battery size needed for draining).
+
+Paper rows (SuperCap cm^3, full scale): 30.7 / 34.4 / 6.8 / 6.6 — at least
+a 4.4x battery-size reduction with Horus, identical ratio for Li-thin.
+"""
+
+from benchmarks.conftest import report_result
+from repro.experiments.table3_battery import run as run_table3
+
+
+def test_table3_battery(benchmark, suite):
+    result = benchmark.pedantic(run_table3, args=(suite,),
+                                rounds=1, iterations=1)
+    report_result(benchmark, result)

@@ -1,0 +1,132 @@
+"""A persistent key-value store on a secure EPD memory system.
+
+The paper's introduction motivates EPD with key-value stores: persistence is
+reached the moment a store hits the cache, with no flush/fence pair.  This
+example builds a small KV store whose backing "memory" is a
+:class:`~repro.core.system.SecureEpdSystem`, runs a workload, pulls the plug
+mid-run, recovers, and proves every committed write survived — then shows
+that a tampered vault refuses to recover.
+
+Run:  python examples/kvstore_crash_recovery.py
+"""
+
+import hashlib
+
+from repro import IntegrityError, SecureEpdSystem, SystemConfig
+from repro.attacks.adversary import Adversary
+
+
+class PersistentKvStore:
+    """An open-addressed (linear-probing) KV store, one 64 B line per slot.
+
+    Each record stores the key and the value, so hash collisions probe to
+    the next slot instead of silently overwriting — all state lives in the
+    persistent memory system, nothing in volatile Python state.
+
+    Record layout: key length (1) | key (<= 15) | value length (1) |
+    value (<= 31) | blake2b-16 digest of key+value.
+    """
+
+    MAX_KEY, MAX_VALUE = 15, 31
+
+    def __init__(self, system: SecureEpdSystem, capacity: int = 1024):
+        self._system = system
+        self._capacity = capacity
+
+    def _home_slot(self, key: bytes) -> int:
+        digest = hashlib.blake2b(key, digest_size=8).digest()
+        return int.from_bytes(digest, "little") % self._capacity
+
+    def _probe(self, key: bytes):
+        """Yield (address, record) from the home slot onwards."""
+        slot = self._home_slot(key)
+        for _ in range(self._capacity):
+            address = slot * 64
+            yield address, self._system.read(address)
+            slot = (slot + 1) % self._capacity
+
+    @staticmethod
+    def _pack(key: bytes, value: bytes) -> bytes:
+        digest = hashlib.blake2b(key + value, digest_size=16).digest()
+        record = (bytes([len(key)]) + key.ljust(15, b"\0")
+                  + bytes([len(value)]) + value.ljust(31, b"\0") + digest)
+        return record
+
+    @staticmethod
+    def _unpack(record: bytes) -> tuple[bytes, bytes] | None:
+        key_len = record[0]
+        if key_len == 0:
+            return None
+        key = record[1:1 + key_len]
+        value_len = record[16]
+        value = record[17:17 + value_len]
+        if hashlib.blake2b(key + value, digest_size=16).digest() \
+                != record[48:64]:
+            raise RuntimeError("application-level corruption (never expected)")
+        return key, value
+
+    def put(self, key: str, value: bytes) -> None:
+        raw_key = key.encode()
+        if len(raw_key) > self.MAX_KEY or len(value) > self.MAX_VALUE:
+            raise ValueError("key or value too large for one slot")
+        for address, record in self._probe(raw_key):
+            existing = self._unpack(record)
+            if existing is None or existing[0] == raw_key:
+                self._system.write(address, self._pack(raw_key, value))
+                return
+        raise RuntimeError("store is full")
+
+    def get(self, key: str) -> bytes | None:
+        raw_key = key.encode()
+        for _, record in self._probe(raw_key):
+            existing = self._unpack(record)
+            if existing is None:
+                return None
+            if existing[0] == raw_key:
+                return existing[1]
+        return None
+
+
+def main() -> None:
+    system = SecureEpdSystem(SystemConfig.scaled(256), scheme="horus-dlm")
+    store = PersistentKvStore(system)
+
+    committed = {}
+    for i in range(200):
+        key, value = f"user:{i}", f"record-{i:04d}".encode()
+        store.put(key, value)
+        committed[key] = value
+    print(f"committed {len(committed)} records "
+          "(no flush/fence instructions issued — EPD persistence)")
+
+    report = system.crash(seed=7)
+    print(f"power outage: drained {report.flushed_blocks} dirty lines into "
+          f"the CHV in {report.milliseconds:.3f} ms "
+          f"({report.total_memory_requests} memory requests)")
+
+    recovery = system.recover()
+    print(f"power restored: verified and refilled "
+          f"{recovery.blocks_restored} blocks in "
+          f"{recovery.milliseconds:.3f} ms")
+
+    intact = sum(store.get(k) == v for k, v in committed.items())
+    print(f"verified: {intact}/{len(committed)} records intact after crash")
+    assert intact == len(committed)
+
+    # Crash again, but this time an attacker rewrites part of the vault
+    # while the machine is off.  Recovery must refuse.
+    for i in range(10):
+        store.put(f"user:{i}", b"post-recovery-update")
+    system.crash(seed=8)
+    chv = system.drain_engine._chv
+    Adversary(system.nvm).tamper(chv.data_address(0))
+    try:
+        system.recover()
+    except IntegrityError as error:
+        print(f"tampered vault rejected as designed: {error}")
+    else:
+        raise AssertionError("tampering must be detected")
+
+
+if __name__ == "__main__":
+    main()

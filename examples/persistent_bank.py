@@ -1,0 +1,91 @@
+"""Failure-atomic banking on a secure EPD memory system.
+
+The paper's programmability claim, end to end: account balances live in a
+persistent heap, transfers run as undo-logged transactions, and *no flush or
+fence instruction exists anywhere in this file* — cache residency is
+durability (EPD), the memory is encrypted and integrity-protected (the
+secure controller), and a crash in the middle of a transfer rolls back
+cleanly after Horus recovery.
+
+Run:  python examples/persistent_bank.py
+"""
+
+from repro import SecureEpdSystem, SystemConfig
+from repro.pmlib import PersistentHeap, Transaction, TransactionManager
+
+LOG_BASE = 1 << 20
+
+
+class Bank:
+    """Accounts are heap blocks holding an 8-byte balance."""
+
+    def __init__(self, system: SecureEpdSystem, heap: PersistentHeap):
+        self._system = system
+        self._heap = heap
+        self.accounts: dict[str, int] = {}
+
+    def open_account(self, name: str, balance: int) -> None:
+        address = self._heap.alloc()
+        self.accounts[name] = address
+        self._system.write(address, balance.to_bytes(8, "little")
+                           .ljust(64, b"\0"))
+
+    def balance(self, name: str) -> int:
+        return int.from_bytes(self._system.read(self.accounts[name])[:8],
+                              "little")
+
+    def _write_balance(self, txn: Transaction, name: str,
+                       value: int) -> None:
+        txn.write(self.accounts[name],
+                  value.to_bytes(8, "little").ljust(64, b"\0"))
+
+    def transfer(self, tx: TransactionManager, src: str, dst: str,
+                 amount: int) -> None:
+        with tx.transaction() as txn:
+            src_balance = self.balance(src)
+            if src_balance < amount:
+                raise ValueError("insufficient funds")
+            self._write_balance(txn, src, src_balance - amount)
+            self._write_balance(txn, dst, self.balance(dst) + amount)
+
+
+def main() -> None:
+    system = SecureEpdSystem(SystemConfig.scaled(256), scheme="horus-dlm")
+    heap = PersistentHeap(system, base=0, blocks=256)
+    tx = TransactionManager(system, LOG_BASE)
+    bank = Bank(system, heap)
+
+    bank.open_account("alice", 100)
+    bank.open_account("bob", 50)
+    bank.transfer(tx, "alice", "bob", 30)
+    print(f"after transfer: alice={bank.balance('alice')} "
+          f"bob={bank.balance('bob')}")
+    assert (bank.balance("alice"), bank.balance("bob")) == (70, 80)
+
+    # --- crash in the middle of a transfer -------------------------------
+    tx.log.begin()
+    txn = Transaction(system, tx.log)
+    balance = bank.balance("alice")
+    txn.write(bank.accounts["alice"],
+              (balance - 25).to_bytes(8, "little").ljust(64, b"\0"))
+    print("debited alice... and the power fails before bob is credited")
+
+    drain = system.crash(seed=7)
+    print(f"drained {drain.flushed_blocks} dirty lines "
+          f"({drain.milliseconds:.3f} ms)")
+    system.recover()
+    rolled_back = tx.recover()
+    print(f"recovery rolled back {rolled_back} undo entries")
+
+    print(f"after recovery: alice={bank.balance('alice')} "
+          f"bob={bank.balance('bob')}")
+    assert (bank.balance("alice"), bank.balance("bob")) == (70, 80)
+
+    # Money is conserved; a committed transfer after recovery still works.
+    bank.transfer(tx, "bob", "alice", 10)
+    assert (bank.balance("alice"), bank.balance("bob")) == (80, 70)
+    print("post-recovery transfer committed; invariants hold.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project is configured in pyproject.toml; this file exists so that
+`pip install -e .` also works on minimal/offline environments whose pip
+cannot build PEP 660 editable wheels (no `wheel` package available).
+"""
+
+from setuptools import setup
+
+setup()

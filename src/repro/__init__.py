@@ -1,0 +1,61 @@
+"""repro — a reproduction of *Horus: Persistent Security for Extended
+Persistence-Domain Memory Systems* (Han, Tuck, Awad; MICRO 2022).
+
+The package simulates a secure NVM memory system with an Extended Persistence
+Domain (eADR-style), the baseline secure drain schemes the paper compares
+against, and the Horus cache-hierarchy-vault drain with single- and
+double-level MAC coalescing, plus recovery, an energy/battery model, and an
+experiment harness regenerating every figure and table of the evaluation.
+
+Quickstart::
+
+    from repro import SecureEpdSystem, SystemConfig
+
+    system = SecureEpdSystem(SystemConfig.scaled(64), scheme="horus-dlm")
+    system.fill_worst_case()
+    drain = system.crash()
+    print(drain.total_memory_requests, drain.milliseconds)
+    recovery = system.recover()
+"""
+
+from repro.common.config import (
+    CacheConfig,
+    MemoryConfig,
+    SecurityConfig,
+    SystemConfig,
+)
+from repro.common.errors import (
+    IntegrityError,
+    RecoveryError,
+    ReproError,
+    SecurityError,
+)
+from repro.core.system import SCHEMES, SecureEpdSystem
+from repro.epd.drain import DrainReport
+from repro.core.recovery import RecoveryReport
+from repro.energy.battery import estimate_battery
+from repro.energy.model import EnergyModel
+from repro.stats.counters import SimStats
+from repro.stats.timing import TimingModel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CacheConfig",
+    "MemoryConfig",
+    "SecurityConfig",
+    "SystemConfig",
+    "IntegrityError",
+    "RecoveryError",
+    "ReproError",
+    "SecurityError",
+    "SCHEMES",
+    "SecureEpdSystem",
+    "DrainReport",
+    "RecoveryReport",
+    "estimate_battery",
+    "EnergyModel",
+    "SimStats",
+    "TimingModel",
+    "__version__",
+]

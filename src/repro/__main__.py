@@ -1,0 +1,12 @@
+"""``python -m repro`` — the command-line interface.
+
+With no subcommand this regenerates the paper's evaluation (the experiment
+runner); see :mod:`repro.cli` for ``info`` / ``simulate`` / ``audit``.
+"""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

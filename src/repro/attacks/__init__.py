@@ -1,0 +1,5 @@
+"""Adversarial operations for security testing."""
+
+from repro.attacks.adversary import Adversary
+
+__all__ = ["Adversary"]

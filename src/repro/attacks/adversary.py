@@ -1,0 +1,58 @@
+"""The off-chip adversary of the threat model (Section IV-A).
+
+The attacker controls everything outside the processor chip: it can read the
+bus, and it can tamper with, replay, splice, or spoof NVM content — including
+the CHV between a crash and the recovery.  The adversary manipulates the raw
+backing store directly, bypassing all simulator accounting, exactly like a
+physical attack would bypass the memory controller.
+
+Side channels (power, timing, access patterns) are outside the threat model
+and outside this class.
+"""
+
+from repro.common.constants import CACHE_LINE_SIZE
+from repro.common.errors import AddressError
+from repro.mem.nvm import NvmDevice
+
+
+class Adversary:
+    """Physical attacker operating on the NVM backing store."""
+
+    def __init__(self, nvm: NvmDevice):
+        self._backend = nvm.backend
+
+    def observe(self, address: int) -> bytes:
+        """Bus snooping / memory scanning: read a block without detection."""
+        return self._backend.read_block(address)
+
+    def tamper(self, address: int, byte_offset: int = 0,
+               xor_mask: int = 0xFF) -> bytes:
+        """Flip bits in one byte of a block; returns the original content."""
+        if not 0 <= byte_offset < CACHE_LINE_SIZE:
+            raise AddressError(f"byte offset {byte_offset} out of block")
+        original = self._backend.read_block(address)
+        mutated = bytearray(original)
+        mutated[byte_offset] ^= xor_mask & 0xFF
+        self._backend.corrupt_block(address, bytes(mutated))
+        return original
+
+    def spoof(self, address: int, content: bytes) -> bytes:
+        """Replace a block with attacker-chosen content; returns original."""
+        original = self._backend.read_block(address)
+        self._backend.corrupt_block(address, content)
+        return original
+
+    def snapshot(self, address: int) -> bytes:
+        """Capture a block for a later replay."""
+        return self._backend.read_block(address)
+
+    def replay(self, address: int, snapshot: bytes) -> None:
+        """Write back previously captured (stale but authentic) content."""
+        self._backend.corrupt_block(address, snapshot)
+
+    def splice(self, address_a: int, address_b: int) -> None:
+        """Swap the contents of two blocks (relocation/splicing attack)."""
+        a = self._backend.read_block(address_a)
+        b = self._backend.read_block(address_b)
+        self._backend.corrupt_block(address_a, b)
+        self._backend.corrupt_block(address_b, a)

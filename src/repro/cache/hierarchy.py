@@ -1,0 +1,328 @@
+"""Three-level inclusive cache hierarchy.
+
+Supports the two modes the paper exercises:
+
+* **run-time mode** — ordinary ``read``/``write`` traffic with write-back,
+  write-allocate, inclusive caching; LLC evictions call the supplied
+  ``writeback`` handler (the secure memory controller) and misses call
+  ``fetch``;
+* **drain mode** — :meth:`fill_worst_case` populates every line of every
+  level dirty (the EPD worst case the hold-up budget is sized for) and
+  :meth:`drain_lines` enumerates the flush stream; the paper's flushed-block
+  total (295,936 for Table I) is the sum of line counts over all levels, so
+  inclusive duplicates are flushed once per level that holds them.
+"""
+
+from collections import Counter
+from collections.abc import Callable, Iterator
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.fill import make_allocator, worst_case_addresses
+from repro.cache.line import CacheLine
+from repro.common.config import SystemConfig
+from repro.common.errors import ConfigError
+from repro.common.rng import make_rng
+
+FetchFn = Callable[[int], bytes]
+WritebackFn = Callable[[int, bytes], None]
+
+
+def _pattern_data(address: int) -> bytes:
+    """Deterministic, address-unique 64 B payload for fills and tests."""
+    return (address & ((1 << 64) - 1)).to_bytes(8, "little") * 8
+
+
+class CacheHierarchy:
+    """L1 / L2 / LLC hierarchy, inclusive (default) or non-inclusive.
+
+    Commercial EPD systems support both (the paper notes eADR "already
+    supports flushing all caches in non-inclusive LLC systems"); the drain
+    worst case differs — inclusive hierarchies flush duplicated copies,
+    non-inclusive ones flush one copy of more distinct lines — and Horus
+    recovery option 2 (writeback) is the recommended mode for non-inclusive
+    LLCs, whose capacity cannot hold the whole recovered hierarchy.
+    """
+
+    def __init__(self, config: SystemConfig, functional: bool = True,
+                 inclusive: bool = True):
+        self._config = config
+        self._functional = functional
+        self.inclusive = inclusive
+        self.l1 = SetAssociativeCache(config.l1)
+        self.l2 = SetAssociativeCache(config.l2)
+        self.llc = SetAssociativeCache(config.llc)
+        self.fetch: FetchFn | None = None
+        self.writeback: WritebackFn | None = None
+        self.access_counts: Counter = Counter()
+        """Where run-time accesses were served: 'l1' / 'l2' / 'llc' /
+        'miss'.  Consumed by the run-time performance model."""
+
+    @property
+    def config(self) -> SystemConfig:
+        return self._config
+
+    @property
+    def levels(self) -> tuple[SetAssociativeCache, ...]:
+        return (self.l1, self.l2, self.llc)
+
+    def __len__(self) -> int:
+        return sum(len(level) for level in self.levels)
+
+    def dirty_line_count(self) -> int:
+        return sum(1 for level in self.levels for _ in level.dirty_lines())
+
+    # ------------------------------------------------------------------
+    # Drain-mode support
+    # ------------------------------------------------------------------
+
+    def fill_worst_case(self, seed: int | None = None) -> int:
+        """Populate every line of every level dirty, worst-case sparse.
+
+        Inclusive: the LLC receives a full honest fill (every set, every way)
+        with each line in its own 4 KiB counter page; L1 and L2 are filled
+        with subsets of the LLC's addresses (preserving inclusion) greedily
+        by their own set mapping.  Non-inclusive: every level receives its
+        own full fill of *distinct* addresses (one shared page allocator
+        keeps counter pages unique hierarchy-wide).  Returns the number of
+        lines installed.
+        """
+        self.invalidate_all()
+        allocator = make_allocator(self._config)
+        rng = make_rng(seed)
+
+        if not self.inclusive:
+            for level in self.levels:
+                addresses = list(worst_case_addresses(level.config, allocator))
+                rng.shuffle(addresses)
+                for address in addresses:
+                    data = _pattern_data(address) if self._functional else None
+                    if level.insert(CacheLine(address, data, dirty=True)) \
+                            is not None:
+                        raise ConfigError(
+                            "worst-case fill must not evict")
+            return len(self)
+
+        llc_addresses = list(worst_case_addresses(self._config.llc, allocator))
+        rng.shuffle(llc_addresses)
+
+        for address in llc_addresses:
+            data = _pattern_data(address) if self._functional else None
+            if self.llc.insert(CacheLine(address, data, dirty=True)) is not None:
+                raise ConfigError("worst-case fill must not evict from LLC")
+
+        for upper in (self.l2, self.l1):
+            remaining = upper.config.num_lines
+            for address in llc_addresses:
+                if remaining == 0:
+                    break
+                if upper.set_occupancy(upper.set_index(address)) >= upper.config.ways:
+                    continue
+                if upper.contains(address):
+                    continue
+                data = _pattern_data(address) if self._functional else None
+                upper.insert(CacheLine(address, data, dirty=True))
+                remaining -= 1
+
+        return len(self)
+
+    def fill_sequential(self, base: int = 0) -> int:
+        """Populate every line dirty with a *contiguous* footprint.
+
+        The locality best case: 64 consecutive lines share each counter
+        block, maximizing metadata-cache hit rates during a baseline drain.
+        Used by the spatial-locality ablation as the opposite pole of
+        :meth:`fill_worst_case`.
+        """
+        self.invalidate_all()
+        addresses = []
+        for i in range(self._config.llc.num_lines):
+            addresses.append(base + i * self._config.llc.line_size)
+        for address in addresses:
+            data = _pattern_data(address) if self._functional else None
+            if self.llc.insert(CacheLine(address, data, dirty=True)) is not None:
+                raise ConfigError("sequential fill must not evict from LLC")
+        for upper in (self.l2, self.l1):
+            remaining = upper.config.num_lines
+            for address in addresses:
+                if remaining == 0:
+                    break
+                if upper.set_occupancy(upper.set_index(address)) >= upper.config.ways:
+                    continue
+                data = _pattern_data(address) if self._functional else None
+                upper.insert(CacheLine(address, data, dirty=True))
+                remaining -= 1
+        return len(self)
+
+    def drain_lines(self, seed: int | None = None) -> Iterator[CacheLine]:
+        """The flush stream: every dirty line of every level.
+
+        Upper levels drain before the LLC (as their content must reach memory
+        through the flush too in the worst-case accounting); the order within
+        the stream is shuffled, reflecting the paper's randomly-filled sparse
+        contents.
+        """
+        self._sync_coherence()
+        lines = [line for level in self.levels for line in level.dirty_lines()]
+        make_rng(seed).shuffle(lines)
+        yield from lines
+
+    def _sync_coherence(self) -> None:
+        """Propagate the freshest copy of every line down the hierarchy.
+
+        The paper notes the coherence protocol brings the most recent version
+        from upper-level caches at flush time; here that means duplicated
+        inclusive copies must agree before the flush stream is formed.  This
+        is on-chip traffic — no accounting.
+        """
+        for upper, lower in ((self.l1, self.l2), (self.l2, self.llc)):
+            for line in upper.dirty_lines():
+                below = lower.lookup(line.address, touch=False)
+                if below is not None:
+                    below.data = line.data
+                    below.dirty = True
+
+    def invalidate_all(self) -> None:
+        for level in self.levels:
+            level.clear()
+
+    def restore_dirty(self, address: int, data: bytes | None) -> None:
+        """Recovery hook: refill a recovered block into the LLC, dirty.
+
+        The paper's recovery option 1 places verified CHV blocks back in the
+        LLC in dirty state.
+        """
+        victim = self.llc.insert(CacheLine(address, data, dirty=True))
+        if victim is not None and victim.dirty:
+            self._do_writeback(victim)
+
+    # ------------------------------------------------------------------
+    # Run-time mode
+    # ------------------------------------------------------------------
+
+    def attach(self, fetch: FetchFn, writeback: WritebackFn) -> None:
+        """Connect the hierarchy to a memory-side controller."""
+        self.fetch = fetch
+        self.writeback = writeback
+
+    def read(self, address: int) -> bytes:
+        """Run-time read of one line."""
+        line = self.l1.lookup(address)
+        if line is not None:
+            self.access_counts["l1"] += 1
+            return line.data
+        if not self.inclusive:
+            return self._read_non_inclusive(address)
+
+        line = self.l2.lookup(address)
+        if line is None:
+            line = self.llc.lookup(address)
+            if line is None:
+                self.access_counts["miss"] += 1
+                data = self._do_fetch(address)
+                self._install_llc(CacheLine(address, data, dirty=False))
+                line = self.llc.lookup(address, touch=False)
+            else:
+                self.access_counts["llc"] += 1
+            self._install(self.l2, CacheLine(line.address, line.data, False))
+        else:
+            self.access_counts["l2"] += 1
+        l2_line = self.l2.lookup(address, touch=False)
+        self._install(self.l1, CacheLine(l2_line.address, l2_line.data, False))
+        return self.l1.lookup(address, touch=False).data
+
+    def _read_non_inclusive(self, address: int) -> bytes:
+        """NINE (non-inclusive, non-exclusive) fill: hits anywhere copy the
+        line into L1; misses fill L1 only, and dirty victims trickle down."""
+        for name, level in (("l2", self.l2), ("llc", self.llc)):
+            line = level.lookup(address)
+            if line is not None:
+                self.access_counts[name] += 1
+                self._install(self.l1, CacheLine(address, line.data, False))
+                return line.data
+        self.access_counts["miss"] += 1
+        data = self._do_fetch(address)
+        self._install(self.l1, CacheLine(address, data, dirty=False))
+        return data
+
+    def write(self, address: int, data: bytes) -> None:
+        """Run-time write of one full line (write-allocate into L1)."""
+        self.read(address)
+        line = self.l1.lookup(address, touch=False)
+        line.data = data
+        line.dirty = True
+        # In the EPD model the whole hierarchy is persistent: visibility is
+        # persistence, so no flush is needed — this is the paper's premise.
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _do_fetch(self, address: int) -> bytes:
+        if self.fetch is None:
+            raise ConfigError("hierarchy is not attached to a memory side")
+        return self.fetch(address)
+
+    def _do_writeback(self, line: CacheLine) -> None:
+        if self.writeback is None:
+            raise ConfigError("hierarchy is not attached to a memory side")
+        self.writeback(line.address, line.data)
+
+    def _install(self, level: SetAssociativeCache, line: CacheLine) -> None:
+        """Install into L1 or L2; dirty victims move toward memory.
+
+        Inclusive: the level below must already hold the address, so the
+        victim merges into that copy.  Non-inclusive: the victim is inserted
+        into the level below (possibly displacing another victim, which
+        cascades), and clean victims are simply dropped.
+        """
+        victim = level.insert(line)
+        if victim is None:
+            return
+        below = self.l2 if level is self.l1 else self.llc
+        if self.inclusive:
+            if level is self.l2:
+                # Inclusion: an address leaving L2 must leave L1 too, and
+                # the L1 copy may be the freshest version.
+                copy = self.l1.invalidate(victim.address)
+                if copy is not None and copy.dirty:
+                    victim.data = copy.data
+                    victim.dirty = True
+            if not victim.dirty:
+                return
+            below_line = below.lookup(victim.address, touch=False)
+            if below_line is None:
+                raise ConfigError(
+                    f"inclusion violated: {victim.address:#x} in "
+                    f"{level.name} but not in {below.name}")
+            below_line.data = victim.data
+            below_line.dirty = True
+            return
+        if not victim.dirty:
+            return
+        existing = below.lookup(victim.address, touch=False)
+        if existing is not None:
+            existing.data = victim.data
+            existing.dirty = True
+        elif below is self.llc:
+            self._install_llc(victim)
+        else:
+            self._install(below, victim)
+
+    def _install_llc(self, line: CacheLine) -> None:
+        """Install into the LLC; dirty victims are written back to memory.
+
+        Under inclusion, evicting an LLC line also back-invalidates any
+        upper-level copies (taking their fresher data with them); without
+        inclusion there is nothing to invalidate.
+        """
+        victim = self.llc.insert(line)
+        if victim is None:
+            return
+        data, dirty = victim.data, victim.dirty
+        if self.inclusive:
+            for upper in (self.l1, self.l2):
+                copy = upper.invalidate(victim.address)
+                if copy is not None and copy.dirty:
+                    data, dirty = copy.data, True
+        if dirty:
+            self._do_writeback(CacheLine(victim.address, data, True))

@@ -1,0 +1,136 @@
+"""Command-line interface.
+
+Subcommands::
+
+    python -m repro info        [--scale N]             # config & layout
+    python -m repro simulate    [--scheme S] [--scale N]  # drain + recovery
+    python -m repro audit       [--scale N] [--tamper ADDR]
+    python -m repro experiments [runner args...]        # regenerate figures
+
+``python -m repro`` with no subcommand runs the experiment runner, which is
+the most common use.
+"""
+
+import argparse
+import sys
+
+from repro.common.config import SystemConfig
+from repro.common.units import format_bytes
+from repro.core.analytic import horus_drain_seconds
+from repro.core.system import SCHEMES, SecureEpdSystem
+from repro.mem.regions import MemoryLayout
+from repro.stats.hitrate import hit_rate_rows
+from repro.stats.report import format_table
+
+SUBCOMMANDS = ("info", "simulate", "audit", "experiments")
+
+
+def cmd_info(args) -> int:
+    config = SystemConfig.scaled(args.scale)
+    layout = MemoryLayout(config)
+    print(f"configuration: 1/{args.scale} of Table I")
+    print(format_table(
+        ["cache", "size", "ways", "lines"],
+        [[c.name, format_bytes(c.size), c.ways, c.num_lines]
+         for c in config.cache_levels]))
+    print(f"\nworst-case flushed blocks: {config.total_cache_lines:,}")
+    print(f"worst-case fill stride: {format_bytes(config.worst_case_stride)}")
+    print(f"integrity tree: {layout.num_tree_levels} node levels over "
+          f"{layout.num_counter_blocks:,} counter blocks\n")
+    print(format_table(
+        ["region", "base", "size"],
+        [[r.name, f"{r.base:#x}", format_bytes(r.size)]
+         for r in layout.regions]))
+    print("\nclosed-form worst-case Horus drain:")
+    for dlm in (False, True):
+        name = "horus-dlm" if dlm else "horus-slm"
+        print(f"  {name}: {horus_drain_seconds(config, dlm) * 1e3:.3f} ms")
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    config = SystemConfig.scaled(args.scale)
+    system = SecureEpdSystem(config, scheme=args.scheme)
+    filled = system.fill_worst_case(seed=args.seed)
+    report = system.crash(seed=args.seed + 1)
+    print(f"scheme {args.scheme}: drained {filled:,} worst-case lines")
+    print(format_table(
+        ["metric", "value"],
+        [["memory requests", report.total_memory_requests],
+         ["  reads", report.total_reads],
+         ["  writes", report.total_writes],
+         ["MAC calculations", report.total_macs],
+         ["drain time (ms)", report.milliseconds]]))
+    print("\nwrite breakdown:")
+    print(format_table(
+        ["kind", "count"],
+        [[str(kind), count]
+         for kind, count in sorted(report.stats.writes.items(),
+                                   key=lambda kv: kv[0].value) if count]))
+    recovery = system.recover()
+    if recovery is not None:
+        print(f"\nrecovery: {recovery.blocks_restored:,} blocks in "
+              f"{recovery.milliseconds:.3f} ms")
+    print("\ncache hit rates:")
+    print(format_table(["cache", "hits", "misses", "rate"],
+                       hit_rate_rows(system)))
+    return 0
+
+
+def cmd_audit(args) -> int:
+    from repro.attacks.adversary import Adversary
+    from repro.secure.audit import audit_memory
+
+    config = SystemConfig.scaled(args.scale)
+    system = SecureEpdSystem(config, scheme="base-eu")
+    for i in range(args.blocks):
+        system.controller.write(i * 4096, i.to_bytes(8, "little") * 8)
+    system.controller.flush_metadata()
+    system.controller.drop_volatile_state()
+    if args.tamper is not None:
+        Adversary(system.nvm).tamper(args.tamper)
+        print(f"tampered with block {args.tamper:#x}")
+    report = audit_memory(system.controller)
+    print(f"audited {report.blocks_checked} blocks: "
+          f"{'clean' if report.clean else 'FAILURES'}")
+    for address, reason in report.failures:
+        print(f"  {address:#x}: {reason}")
+    return 0 if report.clean else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # No subcommand (or a runner flag/experiment name): run the experiments.
+    if not argv or argv[0] not in SUBCOMMANDS:
+        from repro.experiments.runner import main as runner_main
+        return runner_main(argv)
+    if argv[0] == "experiments":
+        from repro.experiments.runner import main as runner_main
+        return runner_main(argv[1:])
+
+    parser = argparse.ArgumentParser(prog="repro")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    info = sub.add_parser("info", help="print configuration and layout")
+    info.add_argument("--scale", type=int, default=16)
+    info.set_defaults(func=cmd_info)
+
+    simulate = sub.add_parser("simulate",
+                              help="worst-case drain + recovery")
+    simulate.add_argument("--scheme", choices=SCHEMES, default="horus-dlm")
+    simulate.add_argument("--scale", type=int, default=64)
+    simulate.add_argument("--seed", type=int, default=1)
+    simulate.set_defaults(func=cmd_simulate)
+
+    audit = sub.add_parser("audit", help="full-memory integrity audit")
+    audit.add_argument("--scale", type=int, default=128)
+    audit.add_argument("--blocks", type=int, default=16)
+    audit.add_argument("--tamper", type=lambda v: int(v, 0), default=None)
+    audit.set_defaults(func=cmd_audit)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,39 @@
+"""Shared foundations: constants, units, addresses, configuration, errors."""
+
+from repro.common.config import (
+    CacheConfig,
+    MemoryConfig,
+    SecurityConfig,
+    SystemConfig,
+)
+from repro.common.errors import (
+    AddressError,
+    AlignmentError,
+    ConfigError,
+    CounterOverflowError,
+    DrainStateError,
+    IntegrityError,
+    RecoveryError,
+    ReplayError,
+    ReproError,
+    SecurityError,
+    SplicingError,
+)
+
+__all__ = [
+    "CacheConfig",
+    "MemoryConfig",
+    "SecurityConfig",
+    "SystemConfig",
+    "AddressError",
+    "AlignmentError",
+    "ConfigError",
+    "CounterOverflowError",
+    "DrainStateError",
+    "IntegrityError",
+    "RecoveryError",
+    "ReplayError",
+    "ReproError",
+    "SecurityError",
+    "SplicingError",
+]

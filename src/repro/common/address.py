@@ -1,0 +1,45 @@
+"""Address arithmetic helpers.
+
+All simulator components deal in 64 B-aligned block addresses; these helpers
+centralize alignment checks and block indexing so layout bugs surface as
+:class:`~repro.common.errors.AlignmentError` rather than silent corruption.
+"""
+
+from repro.common.constants import CACHE_LINE_SIZE
+from repro.common.errors import AlignmentError
+
+
+def is_block_aligned(address: int, block_size: int = CACHE_LINE_SIZE) -> bool:
+    """Return True when ``address`` is a multiple of ``block_size``."""
+    return address % block_size == 0
+
+
+def require_block_aligned(address: int, block_size: int = CACHE_LINE_SIZE) -> int:
+    """Validate alignment, returning the address for fluent use."""
+    if address < 0:
+        raise AlignmentError(f"negative address {address:#x}")
+    if address % block_size != 0:
+        raise AlignmentError(
+            f"address {address:#x} is not {block_size}-byte aligned"
+        )
+    return address
+
+
+def block_align_down(address: int, block_size: int = CACHE_LINE_SIZE) -> int:
+    """Round ``address`` down to the containing block boundary."""
+    return address - (address % block_size)
+
+
+def block_index(address: int, block_size: int = CACHE_LINE_SIZE) -> int:
+    """Return the block number containing ``address``."""
+    return address // block_size
+
+
+def block_address(index: int, block_size: int = CACHE_LINE_SIZE) -> int:
+    """Return the start address of block number ``index``."""
+    return index * block_size
+
+
+def blocks_in(size: int, block_size: int = CACHE_LINE_SIZE) -> int:
+    """Number of whole blocks needed to hold ``size`` bytes (ceiling)."""
+    return -(-size // block_size)

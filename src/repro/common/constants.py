@@ -1,0 +1,93 @@
+"""Global constants shared across the Horus reproduction.
+
+All sizes are in bytes and all latencies come from Table I of the paper
+(MICRO 2022) unless noted otherwise.  Derived constants (e.g. how much data a
+counter block covers) follow the split-counter / Bonsai-Merkle-Tree layout
+described in Section II of the paper.
+"""
+
+# --- Block and line geometry -------------------------------------------------
+
+CACHE_LINE_SIZE = 64
+"""Size of a cache line / memory block in bytes (the universal granule)."""
+
+MAC_SIZE = 8
+"""Size of a single message authentication code in bytes."""
+
+MACS_PER_BLOCK = CACHE_LINE_SIZE // MAC_SIZE
+"""Number of 8 B MACs that fit in one 64 B memory block (= 8)."""
+
+ADDRESS_SIZE = 8
+"""Size of a physical address as stored in a Horus CHV address block (64-bit)."""
+
+ADDRESSES_PER_BLOCK = CACHE_LINE_SIZE // ADDRESS_SIZE
+"""Number of addresses coalesced into one 64 B CHV address block (= 8)."""
+
+# --- Split-counter scheme (Section II-B) -------------------------------------
+
+MINOR_COUNTERS_PER_BLOCK = 64
+"""Each 64 B counter block holds one major counter plus 64 minor counters."""
+
+MINOR_COUNTER_BITS = 7
+"""Width of a minor counter; overflow forces a page re-encryption."""
+
+MAJOR_COUNTER_BITS = 64
+"""Width of the shared major counter."""
+
+COUNTER_BLOCK_COVERAGE = MINOR_COUNTERS_PER_BLOCK * CACHE_LINE_SIZE
+"""Bytes of data covered by one counter block (64 lines x 64 B = 4 KiB)."""
+
+# --- Integrity tree (Section II-B/C, Table I) ---------------------------------
+
+MERKLE_TREE_ARITY = 8
+"""The paper uses 8-ary Merkle trees both over NVM and over the secure cache."""
+
+CACHE_TREE_LEVELS = 5
+"""Levels of the small (Anubis-style) tree protecting the metadata cache."""
+
+# --- Timing parameters (Table I) ----------------------------------------------
+
+CORE_FREQUENCY_HZ = 4_000_000_000
+"""Single X86 OoO core at 4 GHz."""
+
+AES_LATENCY_CYCLES = 40
+"""Latency of one counter-mode pad generation (AES) in core cycles."""
+
+HASH_LATENCY_CYCLES = 160
+"""Latency of one MAC / hash computation in core cycles."""
+
+NVM_READ_LATENCY_NS = 150
+"""PCM read latency in nanoseconds."""
+
+NVM_WRITE_LATENCY_NS = 500
+"""PCM write latency in nanoseconds."""
+
+# --- Energy parameters (Section V-G) ------------------------------------------
+
+NVM_WRITE_ENERGY_J = 531.8e-9
+"""Energy of one NVM write operation (531.8 nJ, from Hoseinzadeh et al.)."""
+
+NVM_READ_ENERGY_J = 5.5e-9
+"""Energy of one NVM read operation (5.5 nJ)."""
+
+PROCESSOR_DRAIN_POWER_W = 9.3
+"""Processor power while draining.
+
+The paper models processor energy with McPAT; inverting its Table II
+(10.21 J over the Base-LU drain period) yields a constant ~9.3 W, which we use
+directly (see DESIGN.md substitution table).
+"""
+
+SUPERCAP_ENERGY_DENSITY_WH_PER_CM3 = 1e-4
+"""Super-capacitor volumetric energy density (Wh/cm^3), Section V-G."""
+
+LI_THIN_ENERGY_DENSITY_WH_PER_CM3 = 1e-2
+"""Lithium thin-film battery volumetric energy density (Wh/cm^3)."""
+
+# --- CHV sizing (Section IV-D) -------------------------------------------------
+
+CHV_CACHE_FACTOR_SLM = 1.25
+"""CHV area per byte of cache for Horus-SLM: data + 1/8 addresses + 1/8 MACs."""
+
+CHV_METADATA_FACTOR_SLM = 1.125
+"""CHV area per byte of metadata cache for Horus-SLM."""

@@ -1,0 +1,55 @@
+"""Exception hierarchy for the Horus reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures distinctly from programming errors.  Security
+violations intentionally carry enough context to write meaningful tests
+against specific attack classes.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration was supplied."""
+
+
+class AddressError(ReproError):
+    """An address fell outside the region it was expected to be in."""
+
+
+class AlignmentError(AddressError):
+    """An address violated the required block alignment."""
+
+
+class SecurityError(ReproError):
+    """Base class for all security violations detected by the simulator."""
+
+
+class IntegrityError(SecurityError):
+    """A MAC or Merkle-tree verification failed (tamper / corruption)."""
+
+    def __init__(self, message: str, address: int | None = None):
+        super().__init__(message)
+        self.address = address
+
+
+class ReplayError(IntegrityError):
+    """Stale-but-authentic content was detected (freshness violation)."""
+
+
+class SplicingError(IntegrityError):
+    """Content was relocated/swapped between addresses (splicing attack)."""
+
+
+class CounterOverflowError(SecurityError):
+    """A counter that must never repeat was about to wrap around."""
+
+
+class RecoveryError(ReproError):
+    """The post-crash recovery procedure could not complete."""
+
+
+class DrainStateError(ReproError):
+    """A drain engine was used out of order (e.g. recover before drain)."""

@@ -1,0 +1,20 @@
+"""Deterministic randomness helpers.
+
+Every stochastic component (fill patterns, workload generators, adversaries)
+takes an explicit seed and derives a private :class:`random.Random`, so whole
+experiments are reproducible bit-for-bit.
+"""
+
+import random
+
+DEFAULT_SEED = 0xC0FFEE
+
+
+def make_rng(seed: int | None = None) -> random.Random:
+    """Return an isolated RNG; ``None`` selects the library default seed."""
+    return random.Random(DEFAULT_SEED if seed is None else seed)
+
+
+def random_block(rng: random.Random, size: int = 64) -> bytes:
+    """Return ``size`` random bytes drawn from ``rng``."""
+    return rng.getrandbits(8 * size).to_bytes(size, "little")

@@ -1,0 +1,42 @@
+"""The paper's contribution: CHV, Horus drain/recovery, the system facade."""
+
+from repro.core.analytic import (
+    HorusDrainCost,
+    horus_drain_cost,
+    horus_drain_seconds,
+    validate_baseline_report,
+    validate_horus_report,
+)
+from repro.core.chv import (
+    MAC_GROUP_DLM,
+    MAC_GROUP_SLM,
+    ChvLayout,
+    expected_chv_bytes,
+)
+from repro.core.horus import HorusDrainEngine
+from repro.core.recovery import (
+    HorusRecovery,
+    RecoveryReport,
+    estimate_recovery_seconds,
+    estimate_recovery_stats,
+)
+from repro.core.system import SCHEMES, SecureEpdSystem
+
+__all__ = [
+    "HorusDrainCost",
+    "horus_drain_cost",
+    "horus_drain_seconds",
+    "validate_baseline_report",
+    "validate_horus_report",
+    "MAC_GROUP_DLM",
+    "MAC_GROUP_SLM",
+    "ChvLayout",
+    "expected_chv_bytes",
+    "HorusDrainEngine",
+    "HorusRecovery",
+    "RecoveryReport",
+    "estimate_recovery_seconds",
+    "estimate_recovery_stats",
+    "SCHEMES",
+    "SecureEpdSystem",
+]

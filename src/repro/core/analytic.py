@@ -1,0 +1,131 @@
+"""Closed-form cost models for drain episodes.
+
+Horus's drain cost is *deterministic* — Section IV makes it a pure function
+of the number of vaulted blocks — so it has an exact closed form, derived
+here and pinned against the simulator by tests.  The baselines have no exact
+closed form (their cost depends on metadata-cache dynamics), but they obey
+hard bounds that every simulated episode must satisfy; the validation module
+turns those into machine-checkable invariants.
+
+These models also let callers size hold-up budgets without running the
+simulator at all (`horus_drain_cost(...)` is what a platform architect would
+put in a spreadsheet).
+"""
+
+from dataclasses import dataclass
+
+from repro.common.config import SystemConfig
+from repro.common.constants import ADDRESSES_PER_BLOCK, MACS_PER_BLOCK
+from repro.epd.drain import DrainReport
+from repro.stats.counters import SimStats
+from repro.stats.events import AesKind, MacKind, WriteKind
+from repro.stats.timing import TimingModel
+
+
+@dataclass(frozen=True)
+class HorusDrainCost:
+    """Exact operation counts of a Horus drain over ``blocks`` lines."""
+
+    blocks: int
+    data_writes: int
+    address_writes: int
+    mac_writes: int
+    mac_computations: int
+    aes_operations: int
+
+    @property
+    def total_writes(self) -> int:
+        return self.data_writes + self.address_writes + self.mac_writes
+
+    @property
+    def total_memory_requests(self) -> int:
+        return self.total_writes  # Horus reads nothing during a drain
+
+    def as_stats(self) -> SimStats:
+        stats = SimStats()
+        stats.record_write(WriteKind.CHV_DATA, self.data_writes)
+        stats.record_write(WriteKind.CHV_ADDRESS, self.address_writes)
+        stats.record_write(WriteKind.CHV_MAC, self.mac_writes)
+        stats.record_mac(MacKind.CHV_DATA, self.blocks)
+        stats.record_mac(MacKind.CHV_LEVEL2,
+                         self.mac_computations - self.blocks)
+        stats.record_aes(AesKind.ENCRYPT, self.aes_operations)
+        return stats
+
+
+def horus_drain_cost(blocks: int, double_level_mac: bool) -> HorusDrainCost:
+    """The Section IV cost formula.
+
+    SLM: writes = N + ceil(N/8) + ceil(N/8); MACs = N.
+    DLM: writes = N + ceil(N/8) + ceil(N/64); MACs = N + ceil(N/8).
+    One pad generation per block either way.
+    """
+    address_writes = -(-blocks // ADDRESSES_PER_BLOCK)
+    if double_level_mac:
+        mac_writes = -(-blocks // (MACS_PER_BLOCK * MACS_PER_BLOCK))
+        mac_computations = blocks + -(-blocks // MACS_PER_BLOCK)
+    else:
+        mac_writes = -(-blocks // MACS_PER_BLOCK)
+        mac_computations = blocks
+    return HorusDrainCost(
+        blocks=blocks,
+        data_writes=blocks,
+        address_writes=address_writes,
+        mac_writes=mac_writes,
+        mac_computations=mac_computations,
+        aes_operations=blocks,
+    )
+
+
+def horus_drain_seconds(config: SystemConfig, double_level_mac: bool,
+                        blocks: int | None = None) -> float:
+    """Closed-form worst-case Horus drain time for ``config``."""
+    if blocks is None:
+        blocks = (config.total_cache_lines
+                  + config.metadata_cache_size // 64)
+    cost = horus_drain_cost(blocks, double_level_mac)
+    return TimingModel(config).seconds(cost.as_stats())
+
+
+def validate_horus_report(report: DrainReport) -> None:
+    """Assert a simulated Horus episode matches the closed form exactly."""
+    blocks = report.flushed_blocks + report.metadata_blocks
+    cost = horus_drain_cost(blocks, double_level_mac="dlm" in report.scheme)
+    mismatches = []
+    if report.total_writes != cost.total_writes:
+        mismatches.append(
+            f"writes {report.total_writes} != {cost.total_writes}")
+    if report.total_macs != cost.mac_computations:
+        mismatches.append(
+            f"MACs {report.total_macs} != {cost.mac_computations}")
+    if report.total_reads != 0:
+        mismatches.append(f"reads {report.total_reads} != 0")
+    if report.stats.total_aes != cost.aes_operations:
+        mismatches.append(
+            f"AES {report.stats.total_aes} != {cost.aes_operations}")
+    if mismatches:
+        raise AssertionError(
+            f"{report.scheme} diverged from the closed form: "
+            + "; ".join(mismatches))
+
+
+def validate_baseline_report(report: DrainReport) -> None:
+    """Assert the hard invariants every baseline episode must satisfy."""
+    flushed = report.flushed_blocks
+    mismatches = []
+    data_writes = report.stats.writes[WriteKind.DATA]
+    if data_writes != flushed:
+        mismatches.append(
+            f"in-place data writes {data_writes} != flushed {flushed}")
+    if report.total_writes < flushed:
+        mismatches.append("total writes below the flushed-line floor")
+    # Every flushed line needs a verified counter: at least one MAC each
+    # (cache hits can only reduce fetches, not the per-line data MAC).
+    if report.total_macs < flushed:
+        mismatches.append("fewer MACs than flushed lines")
+    if report.stats.aes[AesKind.ENCRYPT] < flushed:
+        mismatches.append("fewer encryptions than flushed lines")
+    if mismatches:
+        raise AssertionError(
+            f"{report.scheme} violated baseline invariants: "
+            + "; ".join(mismatches))

@@ -1,0 +1,140 @@
+"""Cache Hierarchy Vault (CHV) layout.
+
+The CHV is a small reserved NVM region that receives the drained cache
+hierarchy *sequentially*: encrypted data blocks, coalesced address blocks
+(8 original addresses per 64 B block), and coalesced MAC blocks.  Because
+placement is positional — block ``i`` of the episode goes to data slot ``i``
+— a flushed block's drain-counter value is recoverable from its CHV position
+alone, which is what removes every metadata fetch from the drain path.
+"""
+
+from dataclasses import dataclass
+
+from repro.common.constants import (
+    ADDRESSES_PER_BLOCK,
+    CACHE_LINE_SIZE,
+    CHV_CACHE_FACTOR_SLM,
+    CHV_METADATA_FACTOR_SLM,
+    MACS_PER_BLOCK,
+)
+from repro.common.config import SystemConfig
+from repro.common.errors import AddressError
+from repro.mem.regions import MemoryLayout, Region
+
+
+@dataclass(frozen=True)
+class ChvLayout:
+    """Positional addressing inside the CHV region."""
+
+    region: Region
+    capacity: int
+    """Maximum number of 64 B blocks one episode can vault."""
+
+    @classmethod
+    def for_layout(cls, layout: MemoryLayout) -> "ChvLayout":
+        config = layout.config
+        raw = (config.total_cache_lines
+               + config.metadata_cache_size // CACHE_LINE_SIZE)
+        # Whole DLM groups, matching the region sizing in MemoryLayout, so
+        # a rotated vault base never splits a coalescing group.
+        capacity = -(-raw // 64) * 64
+        return cls(layout.chv, capacity)
+
+    @property
+    def _data_base(self) -> int:
+        return self.region.base
+
+    @property
+    def _address_base(self) -> int:
+        return self._data_base + self.capacity * CACHE_LINE_SIZE
+
+    @property
+    def _mac_base(self) -> int:
+        blocks = -(-self.capacity // ADDRESSES_PER_BLOCK)
+        return self._address_base + blocks * CACHE_LINE_SIZE
+
+    def _check_position(self, position: int) -> None:
+        if not 0 <= position < self.capacity:
+            raise AddressError(
+                f"CHV position {position} outside capacity {self.capacity}")
+
+    def data_address(self, position: int) -> int:
+        """NVM address of the ``position``-th vaulted data block."""
+        self._check_position(position)
+        return self._data_base + position * CACHE_LINE_SIZE
+
+    def address_block_address(self, group: int) -> int:
+        """NVM address of the address block covering positions 8g..8g+7."""
+        self._check_position(group * ADDRESSES_PER_BLOCK)
+        return self._address_base + group * CACHE_LINE_SIZE
+
+    def mac_block_address(self, group: int) -> int:
+        """NVM address of MAC block ``group``.
+
+        For Horus-SLM a MAC block covers 8 positions; for Horus-DLM it covers
+        64 (8 second-level MACs of 8 positions each); the caller chooses the
+        group arithmetic.
+        """
+        address = self._mac_base + group * CACHE_LINE_SIZE
+        if address >= self.region.end:
+            raise AddressError(f"CHV MAC block {group} beyond region end")
+        return address
+
+
+@dataclass(frozen=True)
+class VaultRotation:
+    """Per-episode rotation of the vault base (wear-leveling extension).
+
+    The paper fixes the CHV start address, so every drain episode rewrites
+    the same NVM blocks; our wear ablation shows that makes the CHV the
+    hottest region of the device.  Because a block's drain-counter value is
+    already derived from registers (DC/eDC), the physical slot can rotate by
+    any episode-constant amount that both drain and recovery can derive from
+    DC at episode start — spreading wear across the whole vault with zero
+    extra state.  The offset is group-aligned (a multiple of 64 positions)
+    so address/MAC coalescing groups never straddle the wrap.
+    """
+
+    offset: int
+    capacity: int
+
+    @classmethod
+    def for_episode(cls, chv: "ChvLayout", episode_start_dc: int,
+                    enabled: bool,
+                    group_align: int = 64) -> "VaultRotation":
+        """Derive the episode's offset from the start-of-episode DC.
+
+        The offset advances by whole coalescing groups per DC consumed
+        (``offset = (DC mod groups) * group_align``) so that even small
+        episodes land on fresh vault blocks, while staying aligned to the
+        MAC-coalescing group (8 for SLM, 64 for DLM).
+        """
+        if not enabled:
+            return cls(0, chv.capacity)
+        groups = chv.capacity // group_align
+        offset = (episode_start_dc % groups) * group_align
+        return cls(offset, chv.capacity)
+
+    def data_slot(self, position: int) -> int:
+        return (position + self.offset) % self.capacity
+
+    def address_group(self, group: int) -> int:
+        groups = self.capacity // ADDRESSES_PER_BLOCK
+        return (group + self.offset // ADDRESSES_PER_BLOCK) % groups
+
+    def mac_group(self, group: int, group_size: int) -> int:
+        groups = self.capacity // group_size
+        return (group + self.offset // group_size) % groups
+
+
+def expected_chv_bytes(config: SystemConfig) -> float:
+    """Section IV-D sizing: 1.25 x cache + 1.125 x metadata cache (SLM)."""
+    return (CHV_CACHE_FACTOR_SLM * config.total_cache_size
+            + CHV_METADATA_FACTOR_SLM * config.metadata_cache_size)
+
+
+MAC_GROUP_SLM = MACS_PER_BLOCK
+"""Positions per MAC block with single-level MACs (8)."""
+
+MAC_GROUP_DLM = MACS_PER_BLOCK * MACS_PER_BLOCK
+"""Positions per MAC block with double-level MACs (64)."""

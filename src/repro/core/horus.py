@@ -1,0 +1,186 @@
+"""The Horus drain engine (Section IV-C).
+
+Horus replaces the baseline's in-place flushes with sequential writes into
+the Cache Hierarchy Vault, encrypted under a never-repeating on-chip drain
+counter.  Nothing in the drain path touches the main tree, counter, or MAC
+regions, so the episode cost is independent of the hierarchy's spatial
+contents:
+
+* per flushed line — one pad generation, one MAC, one CHV data write;
+* per 8 lines — one coalesced address-block write;
+* MAC writes — one block per 8 lines (SLM) or, with the double-level MAC
+  register scheme of Fig. 10, one block per 64 lines at the price of one
+  extra second-level MAC per 8 lines (the 1.125x of Fig. 13);
+* after the hierarchy — the metadata-cache content is vaulted the same way
+  (negligible; Fig. 12's rightmost component).
+"""
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.common.constants import (
+    ADDRESSES_PER_BLOCK,
+    CACHE_LINE_SIZE,
+    MACS_PER_BLOCK,
+)
+from repro.common.errors import ConfigError
+from repro.core.chv import (
+    MAC_GROUP_DLM,
+    MAC_GROUP_SLM,
+    ChvLayout,
+    VaultRotation,
+)
+from repro.crypto.counters import DrainCounter
+from repro.crypto.engine import AesEngine, MacEngine
+from repro.epd.drain import DrainEngine
+from repro.mem.nvm import NvmDevice
+from repro.secure.controller import SecureMemoryController
+from repro.stats.events import MacKind, WriteKind
+from repro.stats.timing import TimingModel
+
+_ZERO_BLOCK = bytes(CACHE_LINE_SIZE)
+
+
+class HorusDrainEngine(DrainEngine):
+    """Drain the hierarchy into the CHV (Horus-SLM or Horus-DLM)."""
+
+    def __init__(self, controller: SecureMemoryController, nvm: NvmDevice,
+                 chv: ChvLayout, drain_counter: DrainCounter,
+                 timing: TimingModel, double_level_mac: bool = False,
+                 rotate_vault: bool = False):
+        super().__init__(controller.stats, timing)
+        self._controller = controller
+        self._nvm = nvm
+        self._chv = chv
+        self._dc = drain_counter
+        self._dlm = double_level_mac
+        self.rotate_vault = rotate_vault
+        self._rotation = VaultRotation.for_episode(chv, 0, False)
+        self.name = "horus-dlm" if double_level_mac else "horus-slm"
+        # Horus reuses the run-time AES/MAC engines during draining
+        # (Section IV-D: no new crypto hardware).
+        self._aes: AesEngine = controller.aes
+        self._mac: MacEngine = controller.mac
+
+    @property
+    def mac_group(self) -> int:
+        return MAC_GROUP_DLM if self._dlm else MAC_GROUP_SLM
+
+    def _run(self, hierarchy: CacheHierarchy,
+             seed: int | None) -> tuple[int, int]:
+        self._rotation = VaultRotation.for_episode(
+            self._chv, self._dc.value, self.rotate_vault,
+            group_align=self.mac_group)
+        self._dc.begin_episode()
+        state = _EpisodeState()
+
+        flushed = 0
+        for line in hierarchy.drain_lines(seed):
+            self._vault_block(state, line.address, line.data,
+                              WriteKind.CHV_DATA)
+            flushed += 1
+
+        metadata = 0
+        controller = self._controller
+        for cache in controller.metadata_caches:
+            for meta_line in cache.lines():
+                self._vault_block(state, meta_line.address,
+                                  controller.line_bytes(meta_line),
+                                  WriteKind.CHV_METADATA)
+                metadata += 1
+
+        self._finalize(state)
+        return flushed, metadata
+
+    # ------------------------------------------------------------------
+
+    def _vault_block(self, state: "_EpisodeState", address: int,
+                     data: bytes | None, kind: WriteKind) -> None:
+        position = state.position
+        if position >= self._chv.capacity:
+            raise ConfigError("CHV overflow: episode exceeds vault capacity")
+        counter = self._dc.next()
+
+        ciphertext = self._aes.encrypt(address, counter, data)
+        self._nvm.write(
+            self._chv.data_address(self._rotation.data_slot(position)),
+            ciphertext if ciphertext is not None else _ZERO_BLOCK,
+            kind)
+
+        state.address_register.append(address)
+        if len(state.address_register) == ADDRESSES_PER_BLOCK:
+            self._write_address_block(state)
+
+        mac_value = self._mac.block_mac(
+            MacKind.CHV_DATA, ciphertext, address, counter)
+        state.mac_register.append(mac_value)
+        if len(state.mac_register) == MACS_PER_BLOCK:
+            if self._dlm:
+                self._fold_mac_register(state)
+            else:
+                self._write_mac_block(state, state.mac_register)
+                state.mac_register = []
+
+        state.position += 1
+
+    def _fold_mac_register(self, state: "_EpisodeState") -> None:
+        """DLM: compress the 8-entry MAC register into one second-level MAC."""
+        second = self._mac.digest_mac(
+            MacKind.CHV_LEVEL2, b"".join(state.mac_register))
+        state.mac_register = []
+        state.level2_register.append(second)
+        if len(state.level2_register) == MACS_PER_BLOCK:
+            self._write_mac_block(state, state.level2_register)
+            state.level2_register = []
+
+    def _write_address_block(self, state: "_EpisodeState") -> None:
+        payload = b"".join(a.to_bytes(8, "little")
+                           for a in state.address_register)
+        payload = payload.ljust(CACHE_LINE_SIZE, b"\0")
+        group = self._rotation.address_group(state.address_group)
+        self._nvm.write(self._chv.address_block_address(group),
+                        payload, WriteKind.CHV_ADDRESS)
+        state.address_register = []
+        state.address_group += 1
+
+    def _write_mac_block(self, state: "_EpisodeState",
+                         macs: list[bytes]) -> None:
+        payload = b"".join(macs).ljust(CACHE_LINE_SIZE, b"\0")
+        group = self._rotation.mac_group(state.mac_group_index,
+                                         self.mac_group)
+        self._nvm.write(self._chv.mac_block_address(group),
+                        payload, WriteKind.CHV_MAC)
+        state.mac_group_index += 1
+
+    def _finalize(self, state: "_EpisodeState") -> None:
+        """Flush partially-filled coalescing registers at episode end."""
+        if state.address_register:
+            self._write_address_block(state)
+        if self._dlm:
+            if state.mac_register:
+                self._fold_mac_register_partial(state)
+            if state.level2_register:
+                self._write_mac_block(state, state.level2_register)
+                state.level2_register = []
+        elif state.mac_register:
+            self._write_mac_block(state, state.mac_register)
+            state.mac_register = []
+
+    def _fold_mac_register_partial(self, state: "_EpisodeState") -> None:
+        second = self._mac.digest_mac(
+            MacKind.CHV_LEVEL2, b"".join(state.mac_register))
+        state.mac_register = []
+        state.level2_register.append(second)
+
+
+class _EpisodeState:
+    """The on-chip coalescing registers of Section IV-C/IV-D."""
+
+    __slots__ = ("position", "address_register", "address_group",
+                 "mac_register", "level2_register", "mac_group_index")
+
+    def __init__(self) -> None:
+        self.position = 0
+        self.address_register: list[int] = []
+        self.address_group = 0
+        self.mac_register: list[bytes] = []
+        self.level2_register: list[bytes] = []
+        self.mac_group_index = 0

@@ -1,0 +1,220 @@
+"""Horus recovery (Section IV-C3) and the Fig. 16 recovery-time estimator.
+
+Upon power restoration the CHV content is read back, each block's drain
+counter is re-derived from its vault position and the persistent DC/eDC
+registers, its MAC is verified, and the decrypted block is placed back —
+data-region blocks into the LLC in dirty state (the paper's option 1),
+metadata blocks into their metadata caches.
+
+The paper reads the vault in reversed flush order; position grouping makes
+forward order more natural here and the operation counts (what Fig. 16
+measures) are identical either way.
+"""
+
+from dataclasses import dataclass
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.common.config import SystemConfig
+from repro.common.constants import ADDRESSES_PER_BLOCK, MAC_SIZE, MACS_PER_BLOCK
+from repro.common.errors import ConfigError, IntegrityError, RecoveryError
+from repro.core.chv import MAC_GROUP_DLM, MAC_GROUP_SLM, ChvLayout
+from repro.crypto.counters import DrainCounter
+from repro.mem.nvm import NvmDevice
+from repro.secure.controller import SecureMemoryController
+from repro.stats.counters import SimStats
+from repro.stats.events import AesKind, MacKind, ReadKind
+from repro.stats.timing import TimingModel
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """Everything measured about one recovery episode."""
+
+    scheme: str
+    blocks_restored: int
+    stats: SimStats
+    cycles: int
+    seconds: float
+
+    @property
+    def milliseconds(self) -> float:
+        return self.seconds * 1e3
+
+
+class HorusRecovery:
+    """Reads back, verifies, decrypts, and restores one drain episode."""
+
+    def __init__(self, controller: SecureMemoryController, nvm: NvmDevice,
+                 chv: ChvLayout, drain_counter: DrainCounter,
+                 hierarchy: CacheHierarchy, timing: TimingModel,
+                 double_level_mac: bool = False, mode: str = "refill",
+                 rotate_vault: bool = False):
+        if mode not in ("refill", "writeback"):
+            raise ConfigError(
+                f"recovery mode must be 'refill' or 'writeback', got {mode!r}")
+        self._controller = controller
+        self._nvm = nvm
+        self._chv = chv
+        self._dc = drain_counter
+        self._hierarchy = hierarchy
+        self._timing = timing
+        self._dlm = double_level_mac
+        self.rotate_vault = rotate_vault
+        self.mode = mode
+        """The paper's two recovery options (Section IV-C3): ``refill``
+        places verified blocks back in the LLC dirty (option 1, inclusive
+        LLCs); ``writeback`` treats them as normal run-time writes through
+        the main security metadata (option 2, for non-inclusive LLCs)."""
+        self.name = "horus-dlm" if double_level_mac else "horus-slm"
+
+    def recover(self) -> RecoveryReport:
+        if not self._controller.functional:
+            raise ConfigError(
+                "functional recovery requires SecurityConfig.functional=True; "
+                "use estimate_recovery() for counting-only studies")
+        count = self._dc.ephemeral
+        if count == 0:
+            raise RecoveryError("no drain episode to recover")
+
+        stats = self._controller.stats
+        before = stats.copy()
+        aes = self._controller.aes
+        mac = self._controller.mac
+        layout = self._controller.layout
+
+        # The rotation offset is derived from the episode-start DC — exactly
+        # as the drain derived it (DC and eDC are persistent registers).
+        from repro.core.chv import VaultRotation
+        rotation = VaultRotation.for_episode(
+            self._chv, self._dc.value - self._dc.ephemeral, self.rotate_vault,
+            group_align=self.mac_group)
+
+        address_block: bytes | None = None
+        mac_block: bytes | None = None
+        dlm_buffer: list[bytes] = []
+        writeback_queue: list[tuple[int, bytes]] = []
+
+        for position in range(count):
+            if position % ADDRESSES_PER_BLOCK == 0:
+                group = rotation.address_group(
+                    position // ADDRESSES_PER_BLOCK)
+                address_block = self._nvm.read(
+                    self._chv.address_block_address(group), ReadKind.CHV)
+            if position % self.mac_group == 0:
+                group = rotation.mac_group(position // self.mac_group,
+                                           self.mac_group)
+                mac_block = self._nvm.read(
+                    self._chv.mac_block_address(group), ReadKind.CHV)
+
+            slot = position % ADDRESSES_PER_BLOCK
+            address = int.from_bytes(
+                address_block[slot * 8:(slot + 1) * 8], "little")
+            counter = self._dc.value_at(position)
+            ciphertext = self._nvm.read(
+                self._chv.data_address(rotation.data_slot(position)),
+                ReadKind.CHV)
+
+            computed = mac.block_mac(MacKind.VERIFY, ciphertext,
+                                     address, counter)
+            if self._dlm:
+                dlm_buffer.append(computed)
+                self._maybe_check_dlm_group(mac, mac_block, dlm_buffer,
+                                            position, count)
+                if len(dlm_buffer) == MACS_PER_BLOCK:
+                    dlm_buffer = []
+            else:
+                stored = self._stored_mac(mac_block, position, MAC_GROUP_SLM)
+                if stored != computed:
+                    raise IntegrityError(
+                        f"CHV MAC mismatch at vault position {position} "
+                        f"(original address {address:#x})", address)
+
+            plaintext = aes.decrypt(address, counter, ciphertext)
+            if self.mode == "writeback" and layout.classify(address) == "data":
+                # Option 2: replay as run-time writes, but only after the
+                # vaulted metadata-cache content is back (it arrives at the
+                # end of the vault, and the lazy tree is unverifiable
+                # without it).
+                writeback_queue.append((address, plaintext))
+            else:
+                self._restore(layout, address, plaintext)
+
+        for address, plaintext in writeback_queue:
+            self._controller.write(address, plaintext)
+
+        self._dc.clear_ephemeral()
+        episode = stats.diff(before)
+        cycles = self._timing.cycles(episode)
+        return RecoveryReport(
+            scheme=self.name,
+            blocks_restored=count,
+            stats=episode,
+            cycles=cycles,
+            seconds=cycles / self._timing.config.frequency_hz,
+        )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def mac_group(self) -> int:
+        return MAC_GROUP_DLM if self._dlm else MAC_GROUP_SLM
+
+    @staticmethod
+    def _stored_mac(mac_block: bytes, position: int, group_size: int) -> bytes:
+        slot = (position % group_size) // (group_size // MACS_PER_BLOCK)
+        return mac_block[slot * MAC_SIZE:(slot + 1) * MAC_SIZE]
+
+    def _maybe_check_dlm_group(self, mac, mac_block: bytes,
+                               dlm_buffer: list[bytes], position: int,
+                               count: int) -> None:
+        """Verify a completed (or final partial) first-level MAC group."""
+        group_done = len(dlm_buffer) == MACS_PER_BLOCK
+        episode_done = position == count - 1
+        if not group_done and not episode_done:
+            return
+        second = mac.digest_mac(MacKind.VERIFY, b"".join(dlm_buffer))
+        slot = (position % MAC_GROUP_DLM) // MACS_PER_BLOCK
+        stored = mac_block[slot * MAC_SIZE:(slot + 1) * MAC_SIZE]
+        if stored != second:
+            raise IntegrityError(
+                f"CHV second-level MAC mismatch for group ending at vault "
+                f"position {position}")
+
+    def _restore(self, layout, address: int, plaintext: bytes) -> None:
+        region = layout.classify(address)
+        if region == "data":
+            self._hierarchy.restore_dirty(address, plaintext)
+        else:
+            self._controller.restore_metadata_line(address, plaintext)
+
+
+def estimate_recovery_stats(config: SystemConfig, double_level_mac: bool,
+                            blocks: int | None = None) -> SimStats:
+    """Operation counts of a worst-case recovery, without running one.
+
+    Used for the Fig. 16 sweep at LLC sizes too large to simulate block by
+    block; the counting logic mirrors :class:`HorusRecovery` exactly (a test
+    pins the two together on a small configuration).  ``blocks`` overrides
+    the worst-case vaulted-block count (hierarchy + full metadata cache) with
+    a known episode size.
+    """
+    if blocks is None:
+        blocks = (config.total_cache_lines
+                  + config.metadata_cache_size // 64)
+    stats = SimStats()
+    stats.record_read(ReadKind.CHV, blocks)  # data blocks
+    stats.record_read(ReadKind.CHV, -(-blocks // ADDRESSES_PER_BLOCK))
+    group = MAC_GROUP_DLM if double_level_mac else MAC_GROUP_SLM
+    stats.record_read(ReadKind.CHV, -(-blocks // group))         # MAC blocks
+    stats.record_mac(MacKind.VERIFY, blocks)                     # first level
+    if double_level_mac:
+        stats.record_mac(MacKind.VERIFY, -(-blocks // MACS_PER_BLOCK))
+    stats.record_aes(AesKind.DECRYPT, blocks)
+    return stats
+
+
+def estimate_recovery_seconds(config: SystemConfig,
+                              double_level_mac: bool) -> float:
+    """Worst-case recovery time (the Fig. 16 quantity)."""
+    timing = TimingModel(config)
+    return timing.seconds(estimate_recovery_stats(config, double_level_mac))

@@ -1,0 +1,23 @@
+"""Crypto substrate: CME primitives, timed engines, split and drain counters."""
+
+from repro.crypto.counters import DrainCounter, SplitCounterBlock
+from repro.crypto.engine import AesEngine, MacEngine
+from repro.crypto.primitives import (
+    compute_mac,
+    decrypt_block,
+    encrypt_block,
+    generate_pad,
+    xor_block,
+)
+
+__all__ = [
+    "DrainCounter",
+    "SplitCounterBlock",
+    "AesEngine",
+    "MacEngine",
+    "compute_mac",
+    "decrypt_block",
+    "encrypt_block",
+    "generate_pad",
+    "xor_block",
+]

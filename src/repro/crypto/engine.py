@@ -1,0 +1,92 @@
+"""Timed crypto engines.
+
+The engines wrap the pure primitives with (a) operation accounting into a
+:class:`~repro.stats.counters.SimStats` — the quantities Figures 13/15 report —
+and (b) an optional non-functional mode where values are not actually computed
+(counting-only), which speeds up pure performance experiments.
+"""
+
+from repro.common.constants import CACHE_LINE_SIZE, MAC_SIZE
+from repro.crypto.primitives import (
+    compute_mac,
+    decrypt_block,
+    encrypt_block,
+    int_field,
+)
+from repro.stats.counters import SimStats
+from repro.stats.events import AesKind, MacKind
+
+_PLACEHOLDER_MAC = bytes(MAC_SIZE)
+
+DEFAULT_AES_KEY = b"repro-horus-aes-key-0001"
+DEFAULT_MAC_KEY = b"repro-horus-mac-key-0001"
+
+
+class AesEngine:
+    """Counter-mode encryption engine (one pad generation per operation)."""
+
+    def __init__(self, stats: SimStats, key: bytes = DEFAULT_AES_KEY,
+                 functional: bool = True):
+        self._stats = stats
+        self._key = key
+        self.functional = functional
+
+    def encrypt(self, address: int, counter: int, plaintext: bytes | None) -> bytes | None:
+        """Encrypt one block; accounts one AES operation."""
+        self._stats.record_aes(AesKind.ENCRYPT)
+        if not self.functional or plaintext is None:
+            return plaintext
+        return encrypt_block(self._key, address, counter, plaintext)
+
+    def decrypt(self, address: int, counter: int, ciphertext: bytes | None) -> bytes | None:
+        """Decrypt one block; accounts one AES operation."""
+        self._stats.record_aes(AesKind.DECRYPT)
+        if not self.functional or ciphertext is None:
+            return ciphertext
+        return decrypt_block(self._key, address, counter, ciphertext)
+
+
+class MacEngine:
+    """MAC engine; every call is one hash-latency operation."""
+
+    def __init__(self, stats: SimStats, key: bytes = DEFAULT_MAC_KEY,
+                 functional: bool = True):
+        self._stats = stats
+        self._key = key
+        self.functional = functional
+
+    def block_mac(self, kind: MacKind, ciphertext: bytes | None,
+                  address: int, counter: int) -> bytes:
+        """MAC over (ciphertext, address, counter): the BMT-style data MAC and
+        the Horus CHV MAC are both this shape."""
+        self._stats.record_mac(kind)
+        if not self.functional or ciphertext is None:
+            return _PLACEHOLDER_MAC
+        return compute_mac(self._key, ciphertext, int_field(address),
+                           int_field(counter, 16))
+
+    def node_mac(self, kind: MacKind, content: bytes | None,
+                 address: int) -> bytes:
+        """MAC over a 64 B metadata block bound to its address (tree slots)."""
+        self._stats.record_mac(kind)
+        if not self.functional or content is None:
+            return _PLACEHOLDER_MAC
+        return compute_mac(self._key, content, int_field(address))
+
+    def digest_mac(self, kind: MacKind, content: bytes | None) -> bytes:
+        """MAC over raw content (Horus-DLM second level, cache-tree levels)."""
+        self._stats.record_mac(kind)
+        if not self.functional or content is None:
+            return _PLACEHOLDER_MAC
+        return compute_mac(self._key, content)
+
+    def verify_equal(self, expected: bytes, actual: bytes) -> bool:
+        """Compare MACs; in non-functional mode everything verifies."""
+        if not self.functional:
+            return True
+        return expected == actual
+
+
+def zero_block() -> bytes:
+    """A fresh all-zero 64 B block."""
+    return bytes(CACHE_LINE_SIZE)

@@ -1,0 +1,16 @@
+"""Energy and battery-size estimation for drain episodes."""
+
+from repro.energy.battery import (
+    BatteryEstimate,
+    battery_volume_cm3,
+    estimate_battery,
+)
+from repro.energy.model import EnergyBreakdown, EnergyModel
+
+__all__ = [
+    "BatteryEstimate",
+    "battery_volume_cm3",
+    "estimate_battery",
+    "EnergyBreakdown",
+    "EnergyModel",
+]

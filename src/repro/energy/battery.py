@@ -1,0 +1,42 @@
+"""Battery sizing (Section V-G, Table III).
+
+The hold-up source must store the worst-case drain energy; its volume is
+``energy (Wh) / volumetric energy density``, evaluated for the two
+technologies the paper considers (following BBB's methodology): super
+capacitors and lithium thin-film batteries.
+"""
+
+from dataclasses import dataclass
+
+from repro.common.constants import (
+    LI_THIN_ENERGY_DENSITY_WH_PER_CM3,
+    SUPERCAP_ENERGY_DENSITY_WH_PER_CM3,
+)
+from repro.energy.model import EnergyBreakdown
+
+
+@dataclass(frozen=True)
+class BatteryEstimate:
+    """Required backup-source volume for one drain episode (Table III row)."""
+
+    scheme: str
+    supercap_cm3: float
+    li_thin_cm3: float
+
+
+def battery_volume_cm3(energy_j: float, density_wh_per_cm3: float) -> float:
+    """Volume needed to store ``energy_j`` at the given energy density."""
+    if density_wh_per_cm3 <= 0:
+        raise ValueError("energy density must be positive")
+    return (energy_j / 3600.0) / density_wh_per_cm3
+
+
+def estimate_battery(breakdown: EnergyBreakdown) -> BatteryEstimate:
+    """Battery volumes for both technologies the paper evaluates."""
+    return BatteryEstimate(
+        scheme=breakdown.scheme,
+        supercap_cm3=battery_volume_cm3(
+            breakdown.total_j, SUPERCAP_ENERGY_DENSITY_WH_PER_CM3),
+        li_thin_cm3=battery_volume_cm3(
+            breakdown.total_j, LI_THIN_ENERGY_DENSITY_WH_PER_CM3),
+    )

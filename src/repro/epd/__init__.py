@@ -1,0 +1,21 @@
+"""EPD drain framework: reports, non-secure and baseline secure drains."""
+
+from repro.epd.adr import AdrSecureSystem
+from repro.epd.baseline import BaselineSecureDrain
+from repro.epd.bbb import BbbSecureSystem
+from repro.epd.dolos import DolosAdrSystem
+from repro.epd.drain import DrainEngine, DrainReport, NonSecureDrain
+from repro.epd.power import EADR_MIN_HOLDUP_MS, HoldupBudget, holdup_budget
+
+__all__ = [
+    "AdrSecureSystem",
+    "BaselineSecureDrain",
+    "BbbSecureSystem",
+    "DolosAdrSystem",
+    "DrainEngine",
+    "DrainReport",
+    "NonSecureDrain",
+    "EADR_MIN_HOLDUP_MS",
+    "HoldupBudget",
+    "holdup_budget",
+]

@@ -1,0 +1,42 @@
+"""Hold-up budget bookkeeping.
+
+The EPD power supply must keep the system alive for the *worst-case* drain.
+These helpers turn a :class:`~repro.epd.drain.DrainReport` into the hold-up
+quantities the paper discusses (Intel gates eADR on a >= 10 ms hold-up PSU).
+"""
+
+from dataclasses import dataclass
+
+from repro.epd.drain import DrainReport
+
+EADR_MIN_HOLDUP_MS = 10.0
+"""Intel's minimum PSU hold-up time for enabling eADR (Section V-B)."""
+
+
+@dataclass(frozen=True)
+class HoldupBudget:
+    """Hold-up requirement implied by a drain episode."""
+
+    scheme: str
+    holdup_ms: float
+    memory_operations: int
+    relative_to_nosec: float | None = None
+
+    @property
+    def meets_eadr_minimum(self) -> bool:
+        """Whether a standard 10 ms hold-up PSU would cover this drain."""
+        return self.holdup_ms <= EADR_MIN_HOLDUP_MS
+
+
+def holdup_budget(report: DrainReport,
+                  nosec: DrainReport | None = None) -> HoldupBudget:
+    """Hold-up budget for ``report``, optionally normalized to non-secure."""
+    relative = None
+    if nosec is not None and nosec.seconds > 0:
+        relative = report.seconds / nosec.seconds
+    return HoldupBudget(
+        scheme=report.scheme,
+        holdup_ms=report.milliseconds,
+        memory_operations=report.total_memory_requests,
+        relative_to_nosec=relative,
+    )

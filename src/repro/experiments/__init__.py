@@ -1,0 +1,10 @@
+"""Experiment harness: one module per paper table/figure, plus ablations.
+
+See :mod:`repro.experiments.runner` for the command-line entry point and
+``DESIGN.md`` for the experiment index.
+"""
+
+from repro.experiments.result import ExperimentResult, ShapeCheck
+from repro.experiments.suite import DrainSuite
+
+__all__ = ["ExperimentResult", "ShapeCheck", "DrainSuite"]

@@ -1,0 +1,136 @@
+"""ADR vs EPD: where the security cost lives (beyond-paper experiment).
+
+The paper's premise (Sections I-II): ADR systems pay security-metadata costs
+on every persist at run time; EPD systems run recovery-oblivious (DRAM-like)
+and pay only at the drain — and Horus then shrinks that drain payment.  This
+experiment quantifies the whole trade-off on one workload:
+
+* run-time — persist-path memory requests and serialized cycles per
+  durable update (ADR) vs zero extra (EPD);
+* crash-time — hold-up budget: WPQ-only (ADR) vs full hierarchy drain
+  (EPD baselines vs Horus).
+"""
+
+from repro.core.system import SecureEpdSystem
+from repro.epd.adr import AdrSecureSystem
+from repro.epd.bbb import BbbSecureSystem
+from repro.experiments.result import ExperimentResult, ShapeCheck
+from repro.experiments.suite import DRAIN_SEED, DrainSuite
+from repro.workloads.generators import kvstore_trace
+from repro.workloads.trace import OpKind
+
+NUM_OPS = 2000
+
+
+def run(suite: DrainSuite) -> ExperimentResult:
+    config = suite.config()
+    trace = kvstore_trace(NUM_OPS, footprint_blocks=256,
+                          write_fraction=0.5, seed=77)
+
+    # --- ADR: persist after every durable write -------------------------
+    adr = AdrSecureSystem(config)
+    for op in trace:
+        if op.kind is OpKind.WRITE:
+            adr.write(op.address, op.data)
+            adr.persist(op.address)
+        else:
+            adr.read(op.address)
+    adr_requests = adr.stats.total_memory_requests
+    adr_cycles = adr.persist_critical_cycles()
+
+    # --- ADR + Dolos: persists staged through the minor security unit ---
+    from repro.epd.dolos import DolosAdrSystem
+    dolos = DolosAdrSystem(config)
+    for op in trace:
+        if op.kind is OpKind.WRITE:
+            dolos.write(op.address, op.data)
+            dolos.persist(op.address)
+        else:
+            dolos.read(op.address)
+    dolos_cycles = dolos.persist_critical_cycles()
+
+    # --- BBB: implicit persistence through a tiny backed buffer ---------
+    bbb = BbbSecureSystem(config)
+    for op in trace:
+        if op.kind is OpKind.WRITE:
+            bbb.write(op.address, op.data)
+        else:
+            bbb.read(op.address)
+    bbb_requests = bbb.stats.total_memory_requests
+    bbb_drained = 0  # measured below, after the run
+
+    # --- EPD: same workload, persistence is cache residency -------------
+    epd = SecureEpdSystem(config, scheme="horus-dlm")
+    for op in trace:
+        if op.kind is OpKind.WRITE:
+            epd.write(op.address, op.data)
+        else:
+            epd.read(op.address)
+    epd_requests = epd.stats.total_memory_requests
+    drain = epd.crash(seed=DRAIN_SEED)
+    bbb_drained = bbb.crash()
+
+    persists = max(1, adr.persists)
+    rows = [
+        ["ADR (persist per write)", adr.persists, adr_requests,
+         adr_requests / persists, adr_cycles / persists,
+         "WPQ only (~0)"],
+        ["ADR + Dolos MSU", dolos.persists,
+         dolos.stats.total_memory_requests,
+         dolos.stats.total_memory_requests / max(1, dolos.persists),
+         dolos_cycles / max(1, dolos.persists),
+         f"{dolos.staged_entries} staged entries"],
+        ["BBB (64-line backed buffer)", bbb.writes, bbb_requests,
+         bbb_requests / max(1, bbb.writes), 0.0,
+         f"{bbb_drained} bbuf lines"],
+        ["EPD + Horus-DLM", 0, epd_requests,
+         epd_requests / persists, 0.0,
+         f"{drain.total_memory_requests:,} reqs at drain"],
+    ]
+
+    checks = [
+        ShapeCheck(
+            "ADR pays security memory requests on every persist; EPD pays "
+            "almost none at run time",
+            adr_requests > 5 * epd_requests,
+            f"ADR {adr_requests:,} vs EPD {epd_requests:,}"),
+        ShapeCheck(
+            "Dolos cuts the per-persist critical path vs plain ADR "
+            "(the MSU insight Horus scales up)",
+            dolos_cycles / max(1, dolos.persists)
+            < 0.9 * (adr_cycles / persists),
+            f"{dolos_cycles / max(1, dolos.persists):.0f} vs "
+            f"{adr_cycles / persists:.0f} cycles/persist"),
+        ShapeCheck(
+            "BBB sits between ADR and EPD in run-time cost",
+            epd_requests < bbb_requests < adr_requests,
+            f"ADR {adr_requests:,} > BBB {bbb_requests:,} "
+            f"> EPD {epd_requests:,}"),
+        ShapeCheck(
+            "BBB's crash budget is its buffer, not the hierarchy",
+            bbb_drained <= bbb.bbuf_lines,
+            f"{bbb_drained} lines drained"),
+        ShapeCheck(
+            "the EPD cost moved to the drain episode (which Horus keeps at "
+            "~1.25x the dirty lines)",
+            drain.total_memory_requests < 1.5 * (drain.flushed_blocks
+                                                 + drain.metadata_blocks),
+            f"{drain.total_memory_requests:,} requests for "
+            f"{drain.flushed_blocks:,} lines"),
+        ShapeCheck(
+            "ADR persists serialize security latency (> 1000 cycles each)",
+            adr_cycles / persists > 1000,
+            f"{adr_cycles / persists:.0f} cycles/persist"),
+    ]
+    return ExperimentResult(
+        experiment_id="ablation-adr-vs-epd",
+        title="Where the security cost lives: per-persist (ADR) vs "
+              "per-drain (EPD)",
+        headers=["system", "persists", "runtime mem requests",
+                 "reqs/persist", "cycles/persist", "crash budget"],
+        rows=rows,
+        paper_expectation="(beyond paper, Sections I-II) EPD removes the "
+                          "per-persist security tax; Horus keeps the drain "
+                          "budget it creates small",
+        checks=checks,
+    )

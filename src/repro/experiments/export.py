@@ -1,0 +1,92 @@
+"""Serialization of experiment results to JSON and Markdown.
+
+The runner can archive a full regeneration run (`--output DIR`), producing
+machine-readable JSON (for regression tracking across library versions) and
+a human-readable Markdown report mirroring EXPERIMENTS.md's structure.
+"""
+
+import json
+from pathlib import Path
+
+from repro.experiments.result import ExperimentResult
+
+
+def result_to_dict(result: ExperimentResult) -> dict:
+    """A JSON-safe dictionary for one experiment result."""
+    return {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "paper_expectation": result.paper_expectation,
+        "headers": list(result.headers),
+        "rows": [[_json_cell(value) for value in row]
+                 for row in result.rows],
+        "checks": [
+            {"claim": check.claim, "passed": check.passed,
+             "measured": check.measured}
+            for check in result.checks
+        ],
+        "all_checks_pass": result.all_checks_pass,
+    }
+
+
+def to_json(results: list[ExperimentResult], scale: int) -> str:
+    """Serialize a full run to a JSON document."""
+    document = {
+        "scale": scale,
+        "experiments": [result_to_dict(result) for result in results],
+        "total_checks": sum(len(r.checks) for r in results),
+        "passed_checks": sum(
+            sum(1 for c in r.checks if c.passed) for r in results),
+    }
+    return json.dumps(document, indent=2)
+
+
+def to_markdown(results: list[ExperimentResult], scale: int) -> str:
+    """Render a full run as a Markdown report."""
+    lines = [
+        "# Regenerated evaluation results",
+        "",
+        f"Configuration scale: 1/{scale} of Table I.",
+        "",
+    ]
+    for result in results:
+        lines.append(f"## {result.experiment_id}: {result.title}")
+        lines.append("")
+        lines.append(f"*Paper*: {result.paper_expectation}")
+        lines.append("")
+        lines.append("| " + " | ".join(result.headers) + " |")
+        lines.append("|" + "---|" * len(result.headers))
+        for row in result.rows:
+            lines.append("| " + " | ".join(_md_cell(v) for v in row) + " |")
+        lines.append("")
+        for check in result.checks:
+            mark = "x" if check.passed else " "
+            lines.append(f"- [{mark}] {check.claim} — {check.measured}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def write_results(results: list[ExperimentResult], directory: str,
+                  scale: int) -> list[Path]:
+    """Write ``results.json`` and ``results.md`` into ``directory``."""
+    out = Path(directory)
+    out.mkdir(parents=True, exist_ok=True)
+    json_path = out / "results.json"
+    md_path = out / "results.md"
+    json_path.write_text(to_json(results, scale))
+    md_path.write_text(to_markdown(results, scale))
+    return [json_path, md_path]
+
+
+def _json_cell(value: object) -> object:
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def _md_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)

@@ -1,0 +1,52 @@
+"""Figure 11 — normalized drain time (the hold-up budget proxy).
+
+The paper: Base-EU and Base-LU take 5.1x and 4.5x longer than the Horus
+schemes; Horus cuts the secure-drain hold-up from 8.6x of non-secure down to
+1.7x.
+"""
+
+from repro.core.system import SCHEMES
+from repro.experiments.result import ExperimentResult, ShapeCheck
+from repro.experiments.suite import DrainSuite
+
+
+def run(suite: DrainSuite) -> ExperimentResult:
+    reports = suite.all_drains()
+    nosec = reports["nosec"].seconds
+    horus_best = min(reports["horus-slm"].seconds,
+                     reports["horus-dlm"].seconds)
+
+    headers = ["scheme", "cycles", "drain ms", "x nosec", "x horus"]
+    rows = [
+        [scheme,
+         reports[scheme].cycles,
+         reports[scheme].milliseconds,
+         reports[scheme].seconds / nosec,
+         reports[scheme].seconds / horus_best]
+        for scheme in SCHEMES
+    ]
+
+    lu = reports["base-lu"].seconds / horus_best
+    eu = reports["base-eu"].seconds / horus_best
+    slm = reports["horus-slm"].seconds / nosec
+    dlm = reports["horus-dlm"].seconds / nosec
+    checks = [
+        ShapeCheck("Base-LU drains several times slower than Horus "
+                   "(paper: 4.5x)", lu > 3.0, f"{lu:.1f}x"),
+        ShapeCheck("Base-EU drains several times slower than Horus "
+                   "(paper: 5.1x)", eu > 3.0, f"{eu:.1f}x"),
+        ShapeCheck("Horus-SLM drain is < 2.5x the non-secure drain "
+                   "(paper: 1.7x)", slm < 2.5, f"{slm:.2f}x"),
+        ShapeCheck("Horus-DLM is at least as fast as Horus-SLM",
+                   dlm <= slm * 1.01, f"DLM {dlm:.2f}x vs SLM {slm:.2f}x"),
+    ]
+    return ExperimentResult(
+        experiment_id="fig11",
+        title="Normalized drain time (cycles from outage detection to "
+              "fully drained)",
+        headers=headers,
+        rows=rows,
+        paper_expectation="Base-EU 5.1x / Base-LU 4.5x of Horus; Horus 1.7x "
+                          "of non-secure (vs 8.6x without Horus)",
+        checks=checks,
+    )

@@ -1,0 +1,86 @@
+"""Figures 14 & 15 — sensitivity to LLC size (8 / 16 / 32 MB).
+
+Memory requests (Fig. 14) and MAC calculations (Fig. 15), normalized to
+Base-LU at the same LLC size.  The paper reports that across all three sizes
+Horus achieves at least a 7.0x reduction in memory requests and at least a
+5.8x reduction in MAC calculations versus Base-LU.
+"""
+
+from repro.common.units import mib
+from repro.experiments.result import ExperimentResult, ShapeCheck
+from repro.experiments.suite import DrainSuite
+
+LLC_SIZES = (mib(8), mib(16), mib(32))
+SWEEP_SCHEMES = ("base-lu", "base-eu", "horus-slm", "horus-dlm")
+
+
+def _sweep(suite: DrainSuite, metric) -> dict[tuple[int, str], float]:
+    values = {}
+    for llc in LLC_SIZES:
+        for scheme in SWEEP_SCHEMES:
+            values[(llc, scheme)] = metric(suite.drain(scheme, llc_size=llc))
+    return values
+
+
+def _rows(values: dict[tuple[int, str], float]) -> list[list[object]]:
+    rows = []
+    for llc in LLC_SIZES:
+        base = values[(llc, "base-lu")]
+        row: list[object] = [f"{llc // mib(1)}MB"]
+        for scheme in SWEEP_SCHEMES:
+            row.append(values[(llc, scheme)] / base)
+        rows.append(row)
+    return rows
+
+
+def run_fig14(suite: DrainSuite) -> ExperimentResult:
+    values = _sweep(suite, lambda r: r.total_memory_requests)
+    rows = _rows(values)
+    worst_reduction = min(
+        values[(llc, "base-lu")] / max(values[(llc, "horus-slm")],
+                                       values[(llc, "horus-dlm")])
+        for llc in LLC_SIZES)
+    checks = [
+        ShapeCheck(
+            "Horus reduces memory requests several-fold vs Base-LU at every "
+            "LLC size (paper: >= 7.0x at full scale)",
+            worst_reduction >= 4.0, f"worst case {worst_reduction:.1f}x"),
+        ShapeCheck(
+            "normalization holds across sizes (Horus stays flat vs Base-LU)",
+            all(values[(llc, "horus-slm")] / values[(llc, "base-lu")] < 0.25
+                for llc in LLC_SIZES),
+            "Horus-SLM < 0.25x Base-LU at all sizes"),
+    ]
+    return ExperimentResult(
+        experiment_id="fig14",
+        title="Memory requests vs LLC size (normalized to Base-LU)",
+        headers=["LLC", *SWEEP_SCHEMES],
+        rows=rows,
+        paper_expectation=">= 7.0x fewer memory requests than Base-LU at "
+                          "8/16/32 MB LLC",
+        checks=checks,
+    )
+
+
+def run_fig15(suite: DrainSuite) -> ExperimentResult:
+    values = _sweep(suite, lambda r: r.total_macs)
+    rows = _rows(values)
+    worst_reduction = min(
+        values[(llc, "base-lu")] / max(values[(llc, "horus-slm")],
+                                       values[(llc, "horus-dlm")])
+        for llc in LLC_SIZES)
+    checks = [
+        ShapeCheck(
+            "Horus reduces MAC calculations several-fold vs Base-LU at every "
+            "LLC size (paper: >= 5.8x at full scale)",
+            worst_reduction >= 3.0, f"worst case {worst_reduction:.1f}x"),
+    ]
+    return ExperimentResult(
+        experiment_id="fig15",
+        title="MAC calculations vs LLC size (normalized to Base-LU)",
+        headers=["LLC", *SWEEP_SCHEMES],
+        rows=rows,
+        paper_expectation=">= 5.8x fewer MAC calculations than Base-LU at "
+                          "8/16/32 MB LLC",
+        checks=checks,
+    )

@@ -1,0 +1,86 @@
+"""Drain time vs memory parallelism (beyond-paper ablation).
+
+Replays each scheme's captured drain request trace against increasing
+channel/bank parallelism.  Two results matter for hold-up sizing:
+
+* both the serialized (additive) model and the optimistic banked bound
+  preserve the scheme ordering — Horus's advantage is structural, not a
+  bandwidth artifact; and
+* Horus's sequential CHV stream interleaves perfectly across banks, so it
+  converges to the command-bus bound quickly, while the baselines' traffic
+  keeps some bank skew.
+"""
+
+from repro.core.system import SecureEpdSystem
+from repro.experiments.result import ExperimentResult, ShapeCheck
+from repro.experiments.suite import DRAIN_SEED, FILL_SEED, DrainSuite
+from repro.mem.banking import BankGeometry, parallel_speedup, replay_makespan
+
+GEOMETRIES = (
+    BankGeometry(channels=1, banks_per_channel=1),
+    BankGeometry(channels=1, banks_per_channel=8),
+    BankGeometry(channels=4, banks_per_channel=8),
+)
+SCHEMES = ("nosec", "base-lu", "horus-slm")
+
+
+def _drain_trace(suite: DrainSuite, scheme: str) -> tuple:
+    system = SecureEpdSystem(suite.config(), scheme=scheme)
+    system.nvm.trace = []
+    system.fill_worst_case(seed=FILL_SEED)
+    system.crash(seed=DRAIN_SEED)
+    return system.config, system.nvm.trace
+
+
+def run(suite: DrainSuite) -> ExperimentResult:
+    traces = {scheme: _drain_trace(suite, scheme) for scheme in SCHEMES}
+
+    rows = []
+    makespans: dict[tuple[str, int], float] = {}
+    for scheme in SCHEMES:
+        config, trace = traces[scheme]
+        for geometry in GEOMETRIES:
+            result = replay_makespan(trace, config, geometry)
+            makespans[(scheme, geometry.total_banks)] = result.makespan_ns
+            rows.append([
+                scheme, geometry.total_banks, result.requests,
+                result.makespan_ns / 1e6,
+                parallel_speedup(trace, config, geometry),
+            ])
+
+    banks_max = GEOMETRIES[-1].total_banks
+    lu_over_horus_serial = (makespans[("base-lu", 1)]
+                            / makespans[("horus-slm", 1)])
+    lu_over_horus_banked = (makespans[("base-lu", banks_max)]
+                            / makespans[("horus-slm", banks_max)])
+    horus_speedup = (makespans[("horus-slm", 1)]
+                     / makespans[("horus-slm", banks_max)])
+    checks = [
+        ShapeCheck(
+            "scheme ordering survives memory parallelism (Horus still "
+            "several-fold cheaper at max banks)",
+            lu_over_horus_banked > 2.0,
+            f"serial {lu_over_horus_serial:.1f}x -> banked "
+            f"{lu_over_horus_banked:.1f}x"),
+        ShapeCheck(
+            "banking recovers substantial drain time for Horus's "
+            "sequential CHV stream",
+            horus_speedup > 4.0, f"{horus_speedup:.1f}x at {banks_max} banks"),
+        ShapeCheck(
+            "every scheme's banked makespan is bounded by its serialized "
+            "time",
+            all(makespans[(s, banks_max)] <= makespans[(s, 1)]
+                for s in SCHEMES),
+            "banked <= serial for all schemes"),
+    ]
+    return ExperimentResult(
+        experiment_id="ablation-parallelism",
+        title="Drain makespan vs memory channel/bank parallelism "
+              "(optimistic bound)",
+        headers=["scheme", "banks", "requests", "makespan ms", "speedup"],
+        rows=rows,
+        paper_expectation="(beyond paper) hold-up ordering is structural: "
+                          "parallel memory helps every scheme but closes no "
+                          "gap",
+        checks=checks,
+    )

@@ -1,0 +1,144 @@
+"""Regression comparison between two archived experiment runs.
+
+`runner --output DIR` archives a run as ``results.json``; this module diffs
+two such documents so simulator changes can be reviewed quantitatively:
+which experiments' numbers moved, by how much, and whether any shape check
+flipped.
+
+Command line::
+
+    python -m repro.experiments.regression old/results.json new/results.json
+"""
+
+import json
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+DEFAULT_TOLERANCE = 0.01
+
+
+@dataclass(frozen=True)
+class CellDrift:
+    """One numeric table cell that moved beyond tolerance."""
+
+    experiment_id: str
+    row_label: str
+    column: str
+    old: float
+    new: float
+
+    @property
+    def relative_change(self) -> float:
+        if self.old == 0:
+            return float("inf") if self.new else 0.0
+        return (self.new - self.old) / abs(self.old)
+
+    def __str__(self) -> str:
+        return (f"{self.experiment_id}[{self.row_label}].{self.column}: "
+                f"{self.old:,.4g} -> {self.new:,.4g} "
+                f"({self.relative_change:+.1%})")
+
+
+@dataclass(frozen=True)
+class RegressionReport:
+    """Outcome of comparing two runs."""
+
+    drifts: list[CellDrift] = field(default_factory=list)
+    check_flips: list[str] = field(default_factory=list)
+    missing_experiments: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not (self.drifts or self.check_flips
+                    or self.missing_experiments)
+
+    def to_text(self) -> str:
+        if self.clean:
+            return "no regressions: all tables match within tolerance"
+        lines = []
+        if self.missing_experiments:
+            lines.append("experiments missing from the new run: "
+                         + ", ".join(self.missing_experiments))
+        lines.extend(f"check flipped: {flip}" for flip in self.check_flips)
+        lines.extend(str(drift) for drift in self.drifts)
+        return "\n".join(lines)
+
+
+def compare_runs(old: dict, new: dict,
+                 tolerance: float = DEFAULT_TOLERANCE) -> RegressionReport:
+    """Compare two parsed ``results.json`` documents."""
+    new_by_id = {e["experiment_id"]: e for e in new["experiments"]}
+    drifts: list[CellDrift] = []
+    flips: list[str] = []
+    missing: list[str] = []
+
+    for old_exp in old["experiments"]:
+        exp_id = old_exp["experiment_id"]
+        new_exp = new_by_id.get(exp_id)
+        if new_exp is None:
+            missing.append(exp_id)
+            continue
+        drifts.extend(_diff_tables(exp_id, old_exp, new_exp, tolerance))
+        flips.extend(_diff_checks(exp_id, old_exp, new_exp))
+    return RegressionReport(drifts=drifts, check_flips=flips,
+                            missing_experiments=missing)
+
+
+def _diff_tables(exp_id: str, old_exp: dict, new_exp: dict,
+                 tolerance: float) -> list[CellDrift]:
+    drifts = []
+    headers = old_exp["headers"]
+    new_rows = {str(row[0]): row for row in new_exp["rows"]}
+    for old_row in old_exp["rows"]:
+        label = str(old_row[0])
+        new_row = new_rows.get(label)
+        if new_row is None or len(new_row) != len(old_row):
+            drifts.append(CellDrift(exp_id, label, "<row>", 0.0, 0.0))
+            continue
+        for column, old_value, new_value in zip(headers, old_row, new_row):
+            if not _numeric(old_value) or not _numeric(new_value):
+                continue
+            if not _within(float(old_value), float(new_value), tolerance):
+                drifts.append(CellDrift(exp_id, label, column,
+                                        float(old_value), float(new_value)))
+    return drifts
+
+
+def _diff_checks(exp_id: str, old_exp: dict, new_exp: dict) -> list[str]:
+    old_checks = {c["claim"]: c["passed"] for c in old_exp["checks"]}
+    flips = []
+    for check in new_exp["checks"]:
+        was = old_checks.get(check["claim"])
+        if was is not None and was != check["passed"]:
+            direction = "PASS->MISS" if was else "MISS->PASS"
+            flips.append(f"{exp_id}: [{direction}] {check['claim']}")
+    return flips
+
+
+def _numeric(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _within(old: float, new: float, tolerance: float) -> bool:
+    if old == new:
+        return True
+    scale = max(abs(old), abs(new))
+    return abs(new - old) <= tolerance * scale
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = argv if argv is not None else sys.argv[1:]
+    if len(args) < 2:
+        print("usage: regression.py OLD.json NEW.json [tolerance]")
+        return 2
+    tolerance = float(args[2]) if len(args) > 2 else DEFAULT_TOLERANCE
+    old = json.loads(Path(args[0]).read_text())
+    new = json.loads(Path(args[1]).read_text())
+    report = compare_runs(old, new, tolerance)
+    print(report.to_text())
+    return 0 if report.clean else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,52 @@
+"""Experiment result container.
+
+Every experiment module produces an :class:`ExperimentResult`: the table the
+paper prints (headers + rows), the paper's headline expectation for that
+table, and a set of named *shape checks* — the qualitative claims (who wins,
+by roughly what factor) the reproduction is expected to preserve.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.stats.report import format_table
+
+
+@dataclass(frozen=True)
+class ShapeCheck:
+    """One qualitative claim and whether the measured data satisfies it."""
+
+    claim: str
+    passed: bool
+    measured: str
+
+    def __str__(self) -> str:
+        status = "PASS" if self.passed else "MISS"
+        return f"[{status}] {self.claim} (measured: {self.measured})"
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Output of one regenerated table or figure."""
+
+    experiment_id: str
+    title: str
+    headers: list[str]
+    rows: list[list[object]]
+    paper_expectation: str
+    checks: list[ShapeCheck] = field(default_factory=list)
+
+    @property
+    def all_checks_pass(self) -> bool:
+        return all(check.passed for check in self.checks)
+
+    def to_text(self) -> str:
+        lines = [
+            f"=== {self.experiment_id}: {self.title} ===",
+            f"paper: {self.paper_expectation}",
+            "",
+            format_table(self.headers, self.rows),
+        ]
+        if self.checks:
+            lines.append("")
+            lines.extend(str(check) for check in self.checks)
+        return "\n".join(lines)

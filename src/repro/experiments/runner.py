@@ -1,0 +1,111 @@
+"""Experiment runner: regenerate every table and figure of the evaluation.
+
+Usage::
+
+    python -m repro.experiments.runner                  # everything, scale 16
+    python -m repro.experiments.runner --scale 1        # full paper scale
+    python -m repro.experiments.runner fig6 fig11       # a subset
+
+``--scale N`` shrinks the Table I configuration by N (power of two) while
+preserving the worst-case behaviour; scale 1 is the paper's exact setup
+(~296 k flushed blocks; the two baseline schemes take tens of seconds each in
+pure Python).  Fig. 16 always evaluates at paper scale (analytic).
+"""
+
+import argparse
+import sys
+from collections.abc import Callable
+
+from repro.experiments import ablations
+from repro.experiments.adr_comparison import run as run_adr
+from repro.experiments.availability import run as run_availability
+from repro.experiments.parallelism import run as run_parallelism
+from repro.experiments.runtime_overhead import run as run_runtime
+from repro.experiments.scheduling import run as run_scheduling
+from repro.experiments.wear import run as run_wear
+from repro.experiments.fig06_motivation import run as run_fig6
+from repro.experiments.headline import run as run_headline
+from repro.experiments.fig11_drain_time import run as run_fig11
+from repro.experiments.fig12_write_breakdown import run as run_fig12
+from repro.experiments.fig13_mac_breakdown import run as run_fig13
+from repro.experiments.fig14_15_llc_sweep import run_fig14, run_fig15
+from repro.experiments.fig16_recovery_time import run as run_fig16
+from repro.experiments.result import ExperimentResult
+from repro.experiments.suite import DrainSuite
+from repro.experiments.table2_energy import run as run_table2
+from repro.experiments.table3_battery import run as run_table3
+
+EXPERIMENTS: dict[str, Callable[[DrainSuite], ExperimentResult]] = {
+    "headline": run_headline,
+    "fig6": run_fig6,
+    "fig11": run_fig11,
+    "fig12": run_fig12,
+    "fig13": run_fig13,
+    "fig14": run_fig14,
+    "fig15": run_fig15,
+    "fig16": run_fig16,
+    "table2": run_table2,
+    "table3": run_table3,
+    "ablation-locality": ablations.run_locality,
+    "ablation-metadata-cache": ablations.run_metadata_cache,
+    "ablation-coalescing": ablations.run_coalescing,
+    "ablation-adr-vs-epd": run_adr,
+    "ablation-wear": run_wear,
+    "ablation-parallelism": run_parallelism,
+    "ablation-runtime": run_runtime,
+    "ablation-availability": run_availability,
+    "ablation-scheduler": run_scheduling,
+}
+
+
+def run_experiments(names: list[str], scale: int = 16,
+                    functional: bool = True) -> list[ExperimentResult]:
+    """Run the named experiments over one shared drain suite."""
+    suite = DrainSuite(scale=scale, functional=functional)
+    return [EXPERIMENTS[name](suite) for name in names]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate the Horus paper's tables and figures.")
+    parser.add_argument("experiments", nargs="*",
+                        choices=[*EXPERIMENTS, []],
+                        help="subset to run (default: all)")
+    parser.add_argument("--scale", type=int, default=16,
+                        help="config shrink factor, power of two "
+                             "(1 = full paper scale; default 16)")
+    parser.add_argument("--fast", action="store_true",
+                        help="counting-only mode (skips real crypto values)")
+    parser.add_argument("--output", metavar="DIR",
+                        help="also write results.json and results.md there")
+    parser.add_argument("--chart", action="store_true",
+                        help="render each experiment's last numeric column "
+                             "as ASCII bars")
+    args = parser.parse_args(argv)
+
+    names = args.experiments or list(EXPERIMENTS)
+    results = run_experiments(names, scale=args.scale,
+                              functional=not args.fast)
+
+    if args.output:
+        from repro.experiments.export import write_results
+        for path in write_results(results, args.output, args.scale):
+            print(f"wrote {path}")
+
+    failures = 0
+    for result in results:
+        print(result.to_text())
+        if args.chart:
+            from repro.stats.chart import chart_experiment
+            print()
+            print(chart_experiment(result))
+        print()
+        failures += sum(1 for check in result.checks if not check.passed)
+    total_checks = sum(len(result.checks) for result in results)
+    print(f"shape checks: {total_checks - failures}/{total_checks} passed "
+          f"(scale={args.scale})")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

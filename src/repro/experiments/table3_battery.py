@@ -1,0 +1,51 @@
+"""Table III — estimated battery size needed for draining.
+
+Battery volume = drain energy / volumetric energy density, for super
+capacitors and lithium thin-film cells.  The paper reports >= 4.4x battery
+size reduction with Horus.
+"""
+
+from repro.energy.battery import estimate_battery
+from repro.energy.model import EnergyModel
+from repro.experiments.result import ExperimentResult, ShapeCheck
+from repro.experiments.suite import DrainSuite
+from repro.experiments.table2_energy import SECURE_SCHEMES
+
+
+def run(suite: DrainSuite) -> ExperimentResult:
+    model = EnergyModel()
+    estimates = {
+        scheme: estimate_battery(model.breakdown(suite.drain(scheme)))
+        for scheme in SECURE_SCHEMES
+    }
+
+    headers = ["technology", *SECURE_SCHEMES]
+    rows = [
+        ["SuperCap (cm^3)",
+         *[estimates[s].supercap_cm3 for s in SECURE_SCHEMES]],
+        ["Li-thin (cm^3)",
+         *[estimates[s].li_thin_cm3 for s in SECURE_SCHEMES]],
+    ]
+
+    horus_max = max(estimates["horus-slm"].supercap_cm3,
+                    estimates["horus-dlm"].supercap_cm3)
+    reduction = min(estimates["base-lu"].supercap_cm3,
+                    estimates["base-eu"].supercap_cm3) / horus_max
+    li_ratio = (estimates["base-lu"].supercap_cm3
+                / estimates["base-lu"].li_thin_cm3)
+    checks = [
+        ShapeCheck("Horus reduces battery size by >= ~4.4x (paper: 4.4x)",
+                   reduction > 3.0, f"{reduction:.1f}x"),
+        ShapeCheck("SuperCap volume is 100x the Li-thin volume "
+                   "(density ratio)",
+                   abs(li_ratio - 100.0) < 1.0, f"{li_ratio:.1f}x"),
+    ]
+    return ExperimentResult(
+        experiment_id="table3",
+        title="Estimation of battery size needed for draining",
+        headers=headers,
+        rows=rows,
+        paper_expectation="SuperCap: 30.7 / 34.4 / 6.8 / 6.6 cm^3 at paper "
+                          "scale; >= 4.4x reduction with Horus",
+        checks=checks,
+    )

@@ -1,0 +1,16 @@
+"""Memory substrate: sparse backing store, address layout, timed NVM device."""
+
+from repro.mem.backend import SparseMemory
+from repro.mem.nvm import NvmDevice
+from repro.mem.regions import MemoryLayout, Region, tree_level_sizes
+from repro.mem.wear import RegionWear, WearTracker
+
+__all__ = [
+    "SparseMemory",
+    "NvmDevice",
+    "MemoryLayout",
+    "Region",
+    "tree_level_sizes",
+    "RegionWear",
+    "WearTracker",
+]

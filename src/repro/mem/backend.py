@@ -1,0 +1,70 @@
+"""Sparse byte-addressable backing store.
+
+The paper simulates a 32 GB PCM DIMM; only a few hundred thousand blocks are
+ever touched during a drain episode, so the reproduction stores content as a
+dictionary of 64 B blocks keyed by block index.  Untouched blocks read as
+zeros, exactly like freshly-initialized memory.
+"""
+
+from repro.common.address import block_index, require_block_aligned
+from repro.common.constants import CACHE_LINE_SIZE
+from repro.common.errors import AddressError
+
+ZERO_BLOCK = bytes(CACHE_LINE_SIZE)
+
+
+class SparseMemory:
+    """A sparse array of 64 B blocks over a fixed-size physical address space."""
+
+    def __init__(self, size: int):
+        if size <= 0 or size % CACHE_LINE_SIZE:
+            raise AddressError(
+                f"backing store size {size} must be a positive multiple "
+                f"of {CACHE_LINE_SIZE}")
+        self._size = size
+        self._blocks: dict[int, bytes] = {}
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    @property
+    def touched_blocks(self) -> int:
+        """Number of blocks that have ever been written (for tests/reports)."""
+        return len(self._blocks)
+
+    def _check(self, address: int) -> int:
+        require_block_aligned(address)
+        if address + CACHE_LINE_SIZE > self._size:
+            raise AddressError(
+                f"address {address:#x} beyond end of memory ({self._size:#x})")
+        return block_index(address)
+
+    def read_block(self, address: int) -> bytes:
+        """Return the 64 B block at ``address`` (zeros if never written)."""
+        return self._blocks.get(self._check(address), ZERO_BLOCK)
+
+    def write_block(self, address: int, data: bytes) -> None:
+        """Store a full 64 B block at ``address``."""
+        if len(data) != CACHE_LINE_SIZE:
+            raise AddressError(
+                f"block writes must be exactly {CACHE_LINE_SIZE} B, "
+                f"got {len(data)}")
+        self._blocks[self._check(address)] = bytes(data)
+
+    def is_written(self, address: int) -> bool:
+        """True when ``address`` has been explicitly written at least once."""
+        return self._check(address) in self._blocks
+
+    def corrupt_block(self, address: int, data: bytes) -> None:
+        """Adversary hook: overwrite a block without any simulator accounting."""
+        self.write_block(address, data)
+
+    def written_addresses(self):
+        """All block addresses that were ever explicitly written, ascending."""
+        for index in sorted(self._blocks):
+            yield index * CACHE_LINE_SIZE
+
+    def clear(self) -> None:
+        """Drop all content (fresh memory)."""
+        self._blocks.clear()

@@ -1,0 +1,75 @@
+"""Timed, accounted NVM device.
+
+Every read and write goes through :class:`NvmDevice`, which records the
+request in a :class:`~repro.stats.counters.SimStats` under the caller-supplied
+kind.  The device itself has no notion of security — it is the untrusted side
+of the paper's threat model, which is why the adversary in
+:mod:`repro.attacks` manipulates the underlying backend directly.
+"""
+
+from repro.common.errors import AddressError
+from repro.mem.backend import SparseMemory
+from repro.stats.counters import SimStats
+from repro.stats.events import ReadKind, WriteKind
+
+
+class NvmDevice:
+    """A PCM DIMM: sparse backing store + request accounting."""
+
+    def __init__(self, size: int, stats: SimStats | None = None):
+        self._backend = SparseMemory(size)
+        self.stats = stats if stats is not None else SimStats()
+        self.wear = None
+        """Optional :class:`~repro.mem.wear.WearTracker`; when attached,
+        every accounted write also bumps the block's wear counter."""
+        self.trace: list[tuple[int, bool]] | None = None
+        """Optional request trace of (address, is_write) pairs; enable by
+        assigning a list.  Consumed by the banked-memory queueing model."""
+        self.write_budget: int | None = None
+        """Fault injection: when set, only this many further writes reach
+        the medium — later writes are silently lost, modelling a hold-up
+        source that dies mid-drain.  Accounting still records the attempt
+        (the controller issued it; the cells never saw it)."""
+
+    @property
+    def size(self) -> int:
+        return self._backend.size
+
+    @property
+    def backend(self) -> SparseMemory:
+        """The raw store — used by recovery checks and by the adversary."""
+        return self._backend
+
+    def read(self, address: int, kind: ReadKind) -> bytes:
+        """Read one 64 B block, accounted under ``kind``."""
+        if not isinstance(kind, ReadKind):
+            raise AddressError(f"read kind must be a ReadKind, got {kind!r}")
+        data = self._backend.read_block(address)
+        self.stats.record_read(kind)
+        if self.trace is not None:
+            self.trace.append((address, False))
+        return data
+
+    def write(self, address: int, data: bytes, kind: WriteKind) -> None:
+        """Write one 64 B block, accounted under ``kind``."""
+        if not isinstance(kind, WriteKind):
+            raise AddressError(f"write kind must be a WriteKind, got {kind!r}")
+        if self.write_budget is not None:
+            if self.write_budget <= 0:
+                self.stats.record_write(kind)
+                return  # power died: the write is lost in flight
+            self.write_budget -= 1
+        self._backend.write_block(address, data)
+        self.stats.record_write(kind)
+        if self.wear is not None:
+            self.wear.record_write(address)
+        if self.trace is not None:
+            self.trace.append((address, True))
+
+    def peek(self, address: int) -> bytes:
+        """Read without accounting (simulator-internal inspection only)."""
+        return self._backend.read_block(address)
+
+    def poke(self, address: int, data: bytes) -> None:
+        """Write without accounting (initialization / adversary)."""
+        self._backend.write_block(address, data)

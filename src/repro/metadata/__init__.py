@@ -1,0 +1,13 @@
+"""Security-metadata substrate: tree nodes, metadata caches, Merkle trees."""
+
+from repro.metadata.cache import MetadataCache, MetaLine
+from repro.metadata.merkle import InMemoryMerkleTree
+from repro.metadata.nodes import DefaultNodes, TreeNode
+
+__all__ = [
+    "MetadataCache",
+    "MetaLine",
+    "InMemoryMerkleTree",
+    "DefaultNodes",
+    "TreeNode",
+]

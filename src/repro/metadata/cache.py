@@ -1,0 +1,97 @@
+"""Security-metadata caches.
+
+The secure memory controller keeps three of these (counter cache, data-MAC
+cache, tree-node cache, per Table I).  Unlike the data caches, lines hold
+mutable metadata *objects* (a :class:`~repro.crypto.counters.SplitCounterBlock`,
+a :class:`~repro.metadata.nodes.TreeNode`, or a ``bytearray`` MAC block), so
+this is a separate small structure rather than a reuse of the byte-payload
+data cache.
+
+Everything resident in a metadata cache has been integrity-verified at fill
+time; residency implies trust (the on-chip TCB of the threat model).
+"""
+
+from collections import OrderedDict
+from collections.abc import Iterator
+from dataclasses import dataclass
+from typing import Any
+
+from repro.common.config import CacheConfig
+from repro.common.constants import CACHE_LINE_SIZE
+
+
+@dataclass
+class MetaLine:
+    """A resident metadata block: its NVM address, value object, dirty bit."""
+
+    address: int
+    value: Any
+    dirty: bool = False
+
+
+class MetadataCache:
+    """Set-associative, true-LRU cache of metadata objects keyed by address."""
+
+    def __init__(self, config: CacheConfig):
+        self._config = config
+        self._sets: list[OrderedDict[int, MetaLine]] = [
+            OrderedDict() for _ in range(config.num_sets)
+        ]
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def config(self) -> CacheConfig:
+        return self._config
+
+    @property
+    def name(self) -> str:
+        return self._config.name
+
+    def _set_for(self, address: int) -> OrderedDict:
+        return self._sets[(address // CACHE_LINE_SIZE) % self._config.num_sets]
+
+    def lookup(self, address: int) -> MetaLine | None:
+        cache_set = self._set_for(address)
+        line = cache_set.get(address)
+        if line is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        cache_set.move_to_end(address)
+        return line
+
+    def insert(self, line: MetaLine) -> MetaLine | None:
+        """Install ``line``, returning the evicted victim if the set was full."""
+        cache_set = self._set_for(line.address)
+        victim = None
+        if line.address in cache_set:
+            cache_set[line.address] = line
+            cache_set.move_to_end(line.address)
+            return None
+        if len(cache_set) >= self._config.ways:
+            _, victim = cache_set.popitem(last=False)
+        cache_set[line.address] = line
+        return victim
+
+    def contains(self, address: int) -> bool:
+        return address in self._set_for(address)
+
+    def invalidate(self, address: int) -> MetaLine | None:
+        return self._set_for(address).pop(address, None)
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    def lines(self) -> Iterator[MetaLine]:
+        for cache_set in self._sets:
+            yield from cache_set.values()
+
+    def dirty_lines(self) -> Iterator[MetaLine]:
+        for line in self.lines():
+            if line.dirty:
+                yield line
+
+    def clear(self) -> None:
+        for cache_set in self._sets:
+            cache_set.clear()

@@ -1,0 +1,92 @@
+"""Generic in-memory N-ary Merkle tree.
+
+Used for the Anubis-style small tree over the metadata cache (Section II-C)
+and as a reference implementation for property-based tests of the
+NVM-resident Bonsai tree logic in :mod:`repro.secure`.
+"""
+
+from collections.abc import Sequence
+
+from repro.common.errors import ConfigError, IntegrityError
+from repro.crypto.primitives import compute_mac
+
+
+class InMemoryMerkleTree:
+    """An eager, fully materialized hash tree over a list of leaf payloads."""
+
+    def __init__(self, leaves: Sequence[bytes], arity: int = 8,
+                 key: bytes = b"repro-merkle"):
+        if arity < 2:
+            raise ConfigError(f"arity must be >= 2, got {arity}")
+        if not leaves:
+            raise ConfigError("tree needs at least one leaf")
+        self._arity = arity
+        self._key = key
+        self._leaves = [bytes(leaf) for leaf in leaves]
+        self._levels: list[list[bytes]] = []
+        self._build()
+
+    def _hash_group(self, group: Sequence[bytes]) -> bytes:
+        return compute_mac(self._key, *group)
+
+    def _build(self) -> None:
+        self._levels = [[self._hash_group([leaf]) for leaf in self._leaves]]
+        while len(self._levels[-1]) > 1:
+            below = self._levels[-1]
+            level = [
+                self._hash_group(below[i:i + self._arity])
+                for i in range(0, len(below), self._arity)
+            ]
+            self._levels.append(level)
+
+    @property
+    def arity(self) -> int:
+        return self._arity
+
+    @property
+    def num_leaves(self) -> int:
+        return len(self._leaves)
+
+    @property
+    def num_levels(self) -> int:
+        """Hash levels including the root level."""
+        return len(self._levels)
+
+    @property
+    def root(self) -> bytes:
+        return self._levels[-1][0]
+
+    @property
+    def num_hashes(self) -> int:
+        """Total MAC computations an eager build performs (for accounting)."""
+        return sum(len(level) for level in self._levels)
+
+    def leaf(self, index: int) -> bytes:
+        return self._leaves[index]
+
+    def update_leaf(self, index: int, payload: bytes) -> None:
+        """Eagerly update one leaf and its path to the root."""
+        if not 0 <= index < len(self._leaves):
+            raise ConfigError(f"leaf {index} out of range")
+        self._leaves[index] = bytes(payload)
+        self._levels[0][index] = self._hash_group([self._leaves[index]])
+        child_index = index
+        for level in range(1, len(self._levels)):
+            parent_index = child_index // self._arity
+            start = parent_index * self._arity
+            group = self._levels[level - 1][start:start + self._arity]
+            self._levels[level][parent_index] = self._hash_group(group)
+            child_index = parent_index
+
+    def verify_all(self) -> None:
+        """Recompute the whole tree and compare to the stored digests."""
+        rebuilt = InMemoryMerkleTree(self._leaves, self._arity, self._key)
+        if rebuilt.root != self.root:
+            raise IntegrityError("Merkle root mismatch: leaves were altered")
+        for stored, fresh in zip(self._levels, rebuilt._levels):
+            if stored != fresh:
+                raise IntegrityError("Merkle level mismatch: stale interior node")
+
+    def verify_against(self, leaves: Sequence[bytes]) -> bool:
+        """True when ``leaves`` hash to this tree's root."""
+        return InMemoryMerkleTree(leaves, self._arity, self._key).root == self.root

@@ -1,0 +1,87 @@
+"""Integrity-tree node representation and sparse defaults.
+
+A tree node is one 64 B block holding 8 slots of 8 B MACs — slot ``j`` of node
+``(level, i)`` authenticates child ``8*i + j`` one level down (counter blocks
+below level 1).
+
+Because the simulated NVM is sparse, nodes that were never written must read
+back as their *default* content: the node value of an all-zero-counter
+subtree.  :class:`DefaultNodes` precomputes, per level, that default content
+and its MAC, so a 32 GB address space needs no materialization.
+"""
+
+from repro.common.constants import CACHE_LINE_SIZE, MAC_SIZE, MACS_PER_BLOCK
+from repro.common.errors import AddressError
+from repro.crypto.primitives import compute_mac
+
+
+class TreeNode:
+    """One integrity-tree node: 8 slots of 8 B child MACs."""
+
+    __slots__ = ("_data",)
+
+    def __init__(self, data: bytes | None = None):
+        if data is None:
+            self._data = bytearray(CACHE_LINE_SIZE)
+        else:
+            if len(data) != CACHE_LINE_SIZE:
+                raise AddressError(
+                    f"tree node must be {CACHE_LINE_SIZE} B, got {len(data)}")
+            self._data = bytearray(data)
+
+    def get_slot(self, slot: int) -> bytes:
+        if not 0 <= slot < MACS_PER_BLOCK:
+            raise AddressError(f"tree slot {slot} out of range")
+        return bytes(self._data[slot * MAC_SIZE:(slot + 1) * MAC_SIZE])
+
+    def set_slot(self, slot: int, mac: bytes) -> None:
+        if not 0 <= slot < MACS_PER_BLOCK:
+            raise AddressError(f"tree slot {slot} out of range")
+        if len(mac) != MAC_SIZE:
+            raise AddressError(f"slot value must be {MAC_SIZE} B")
+        self._data[slot * MAC_SIZE:(slot + 1) * MAC_SIZE] = mac
+
+    def to_bytes(self) -> bytes:
+        return bytes(self._data)
+
+    def copy(self) -> "TreeNode":
+        return TreeNode(bytes(self._data))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, TreeNode) and self._data == other._data
+
+    def __hash__(self) -> int:  # pragma: no cover - nodes are not dict keys
+        return hash(bytes(self._data))
+
+
+class DefaultNodes:
+    """Default (all-zero-subtree) node content and MAC per tree level.
+
+    Level 0 is the counter-block level: its default content is an all-zero
+    counter block.  Level ``l >= 1`` defaults to a node whose 8 slots all hold
+    the default MAC of level ``l - 1``.  These are computed once with the MAC
+    key, outside any accounted episode (boot-time initialization).
+    """
+
+    def __init__(self, mac_key: bytes, num_levels: int):
+        self._contents: list[bytes] = [bytes(CACHE_LINE_SIZE)]
+        self._macs: list[bytes] = [self._digest(mac_key, self._contents[0])]
+        for _ in range(num_levels):
+            content = self._macs[-1] * MACS_PER_BLOCK
+            self._contents.append(content)
+            self._macs.append(self._digest(mac_key, content))
+
+    @staticmethod
+    def _digest(key: bytes, content: bytes) -> bytes:
+        return compute_mac(key, content)
+
+    def content(self, level: int) -> bytes:
+        """Default 64 B content of a node at ``level`` (0 = counter block)."""
+        return self._contents[level]
+
+    def mac(self, level: int) -> bytes:
+        """MAC of the default content at ``level``."""
+        return self._macs[level]
+
+    def default_node(self, level: int) -> TreeNode:
+        return TreeNode(self._contents[level])

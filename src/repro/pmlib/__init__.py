@@ -1,0 +1,20 @@
+"""Persistent-programming layer: heap, undo log, failure-atomic transactions.
+
+The persistent-application substrate the paper's introduction motivates
+(PMDK-style), built on the EPD property that cache residency is durability.
+"""
+
+from repro.pmlib.heap import PersistentHeap
+from repro.pmlib.log import TxState, UndoLog
+from repro.pmlib.structures import PersistentCounterArray, PersistentQueue
+from repro.pmlib.transaction import Transaction, TransactionManager
+
+__all__ = [
+    "PersistentHeap",
+    "PersistentCounterArray",
+    "PersistentQueue",
+    "TxState",
+    "UndoLog",
+    "Transaction",
+    "TransactionManager",
+]

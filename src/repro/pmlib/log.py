@@ -1,0 +1,119 @@
+"""Persistent undo log.
+
+EPD makes each 64 B store durable the moment it lands in the cache — but
+*atomicity* across multiple stores still needs logging.  The undo log lives
+in the same persistence domain as the data, so (per the paper's
+programmability argument) no flushes or fences appear anywhere: writing a
+log entry IS persisting it.
+
+Layout (all 64 B blocks):
+
+* header — magic | state (IDLE / ACTIVE / COMMITTED) | entry count
+* per entry — one block holding the target address, one holding the old data
+"""
+
+from enum import IntEnum
+
+from repro.common.constants import CACHE_LINE_SIZE
+from repro.common.errors import ConfigError, RecoveryError
+
+_MAGIC = 0x48_4F_52_55_53_4C_4F_47  # "HORUSLOG"
+
+
+class TxState(IntEnum):
+    IDLE = 0
+    ACTIVE = 1
+    COMMITTED = 2
+
+
+class UndoLog:
+    """A single-transaction undo log at a fixed persistent location."""
+
+    def __init__(self, system, base: int, capacity: int = 64):
+        if base % CACHE_LINE_SIZE:
+            raise ConfigError("log base must be line aligned")
+        if capacity <= 0:
+            raise ConfigError("log needs room for at least one entry")
+        self._system = system
+        self._base = base
+        self.capacity = capacity
+
+    @property
+    def size_blocks(self) -> int:
+        """Blocks the log occupies (header + 2 per entry)."""
+        return 1 + 2 * self.capacity
+
+    # -- header -----------------------------------------------------------
+
+    def _write_header(self, state: TxState, count: int) -> None:
+        payload = (_MAGIC.to_bytes(8, "little")
+                   + int(state).to_bytes(8, "little")
+                   + count.to_bytes(8, "little"))
+        self._system.write(self._base, payload.ljust(CACHE_LINE_SIZE, b"\0"))
+
+    def read_header(self) -> tuple[TxState, int]:
+        raw = self._system.read(self._base)
+        if int.from_bytes(raw[:8], "little") != _MAGIC:
+            return TxState.IDLE, 0          # never initialized
+        state = TxState(int.from_bytes(raw[8:16], "little"))
+        count = int.from_bytes(raw[16:24], "little")
+        return state, count
+
+    # -- entries ------------------------------------------------------------
+
+    def _entry_base(self, index: int) -> int:
+        return self._base + (1 + 2 * index) * CACHE_LINE_SIZE
+
+    def append(self, count: int, address: int, old_data: bytes) -> None:
+        """Record entry ``count`` (address + pre-image), then bump the
+        header — the write ordering that makes undo sound."""
+        if count >= self.capacity:
+            raise ConfigError("undo log full")
+        entry = self._entry_base(count)
+        self._system.write(
+            entry, address.to_bytes(8, "little").ljust(CACHE_LINE_SIZE, b"\0"))
+        self._system.write(entry + CACHE_LINE_SIZE, old_data)
+        self._write_header(TxState.ACTIVE, count + 1)
+
+    def read_entry(self, index: int) -> tuple[int, bytes]:
+        entry = self._entry_base(index)
+        address = int.from_bytes(self._system.read(entry)[:8], "little")
+        old_data = self._system.read(entry + CACHE_LINE_SIZE)
+        return address, old_data
+
+    # -- protocol -------------------------------------------------------------
+
+    def begin(self) -> None:
+        state, _ = self.read_header()
+        if state is TxState.ACTIVE:
+            raise ConfigError("a transaction is already active")
+        self._write_header(TxState.ACTIVE, 0)
+
+    def commit(self) -> None:
+        _, count = self.read_header()
+        self._write_header(TxState.COMMITTED, count)
+        self._write_header(TxState.IDLE, 0)
+
+    def abort(self) -> None:
+        """Roll back in reverse order, then clear."""
+        state, count = self.read_header()
+        if state is not TxState.ACTIVE:
+            raise RecoveryError("abort without an active transaction")
+        for index in reversed(range(count)):
+            address, old_data = self.read_entry(index)
+            self._system.write(address, old_data)
+        self._write_header(TxState.IDLE, 0)
+
+    def recover(self) -> int:
+        """Post-crash: undo an interrupted transaction.
+
+        Returns the number of entries rolled back (0 when the log was idle
+        or the transaction had committed).
+        """
+        state, count = self.read_header()
+        if state is TxState.ACTIVE:
+            self.abort()
+            return count
+        if state is TxState.COMMITTED:
+            self._write_header(TxState.IDLE, 0)
+        return 0

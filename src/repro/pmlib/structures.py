@@ -1,0 +1,135 @@
+"""Persistent data structures with single-block commit points.
+
+Built on the observation that a 64 B block write is the memory system's
+atomicity granule: each structure keeps its mutable metadata in one header
+block and orders writes so the header update is the commit point.  A crash
+between a payload write and its header update leaves the payload invisible
+— consistent by construction, no undo log needed.
+
+(Compare :mod:`repro.pmlib.transaction`, which buys multi-block atomicity
+with logging; these structures show the cheaper pattern when one commit
+block suffices.)
+"""
+
+from repro.common.constants import CACHE_LINE_SIZE
+from repro.common.errors import ConfigError
+
+_MAGIC = 0x51_55_45_55_45_50_4D_31  # "QUEUEPM1"
+
+
+class PersistentQueue:
+    """A fixed-capacity FIFO ring of 64 B items in persistent memory.
+
+    Layout: header block (magic | head | tail) followed by ``capacity``
+    slot blocks.  ``head``/``tail`` are monotone counters; occupancy is
+    their difference, slot index is the counter mod capacity.
+    """
+
+    def __init__(self, system, base: int, capacity: int):
+        if base % CACHE_LINE_SIZE:
+            raise ConfigError("queue base must be line aligned")
+        if capacity <= 0:
+            raise ConfigError("queue needs at least one slot")
+        self._system = system
+        self._base = base
+        self.capacity = capacity
+        if self._read_header() is None:
+            self._write_header(0, 0)
+
+    @property
+    def size_blocks(self) -> int:
+        return 1 + self.capacity
+
+    # -- header ---------------------------------------------------------------
+
+    def _write_header(self, head: int, tail: int) -> None:
+        payload = (_MAGIC.to_bytes(8, "little")
+                   + head.to_bytes(8, "little")
+                   + tail.to_bytes(8, "little"))
+        self._system.write(self._base, payload.ljust(CACHE_LINE_SIZE, b"\0"))
+
+    def _read_header(self) -> tuple[int, int] | None:
+        raw = self._system.read(self._base)
+        if int.from_bytes(raw[:8], "little") != _MAGIC:
+            return None
+        return (int.from_bytes(raw[8:16], "little"),
+                int.from_bytes(raw[16:24], "little"))
+
+    def _slot_address(self, counter: int) -> int:
+        return self._base + (1 + counter % self.capacity) * CACHE_LINE_SIZE
+
+    # -- operations -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        head, tail = self._read_header()
+        return tail - head
+
+    @property
+    def is_full(self) -> bool:
+        return len(self) >= self.capacity
+
+    def enqueue(self, item: bytes) -> None:
+        """Write the slot, then publish it via the header (commit point)."""
+        if len(item) != CACHE_LINE_SIZE:
+            raise ConfigError("queue items are exactly one 64 B line")
+        head, tail = self._read_header()
+        if tail - head >= self.capacity:
+            raise ConfigError("queue full")
+        self._system.write(self._slot_address(tail), item)
+        self._write_header(head, tail + 1)
+
+    def dequeue(self) -> bytes:
+        head, tail = self._read_header()
+        if head == tail:
+            raise ConfigError("queue empty")
+        item = self._system.read(self._slot_address(head))
+        self._write_header(head + 1, tail)
+        return item
+
+    def peek(self) -> bytes | None:
+        head, tail = self._read_header()
+        if head == tail:
+            return None
+        return self._system.read(self._slot_address(head))
+
+
+class PersistentCounterArray:
+    """A persistent array of 64-bit counters, 8 per block.
+
+    Increment is read-modify-write of one block — atomic at the memory
+    system's granule, so counters never tear across a crash.
+    """
+
+    def __init__(self, system, base: int, count: int):
+        if base % CACHE_LINE_SIZE:
+            raise ConfigError("array base must be line aligned")
+        if count <= 0:
+            raise ConfigError("array needs at least one counter")
+        self._system = system
+        self._base = base
+        self.count = count
+
+    @property
+    def size_blocks(self) -> int:
+        return -(-self.count // 8)
+
+    def _locate(self, index: int) -> tuple[int, int]:
+        if not 0 <= index < self.count:
+            raise ConfigError(f"counter {index} out of range")
+        return (self._base + (index // 8) * CACHE_LINE_SIZE,
+                (index % 8) * 8)
+
+    def get(self, index: int) -> int:
+        address, offset = self._locate(index)
+        raw = self._system.read(address)
+        return int.from_bytes(raw[offset:offset + 8], "little")
+
+    def add(self, index: int, delta: int = 1) -> int:
+        address, offset = self._locate(index)
+        raw = bytearray(self._system.read(address))
+        value = int.from_bytes(raw[offset:offset + 8], "little") + delta
+        if value < 0:
+            raise ConfigError("counter would go negative")
+        raw[offset:offset + 8] = value.to_bytes(8, "little")
+        self._system.write(address, bytes(raw))
+        return value

@@ -1,0 +1,71 @@
+"""Failure-atomic transactions over a secure EPD system.
+
+The programming model the paper's Section II-A argues EPD enables: no
+flushes, no fences — a store is durable when it hits the cache — and
+multi-block atomicity comes from an undo log in the same persistence domain.
+
+    tx = TransactionManager(system, log_base)
+    with tx.transaction() as t:
+        t.write(a, new_a)
+        t.write(b, new_b)
+    # both or (after a crash + recover_transactions) neither
+"""
+
+from contextlib import contextmanager
+
+from repro.pmlib.log import TxState, UndoLog
+
+
+class Transaction:
+    """One open transaction; obtained from ``TransactionManager``."""
+
+    def __init__(self, system, log: UndoLog):
+        self._system = system
+        self._log = log
+        self._entries = 0
+        self._logged: set[int] = set()
+
+    def write(self, address: int, data: bytes) -> None:
+        """A transactional store: pre-image logged once per block."""
+        if address not in self._logged:
+            old = self._system.read(address)
+            self._log.append(self._entries, address, old)
+            self._entries += 1
+            self._logged.add(address)
+        self._system.write(address, data)
+
+    def read(self, address: int) -> bytes:
+        return self._system.read(address)
+
+
+class TransactionManager:
+    """Owns the undo-log location and the transaction lifecycle."""
+
+    def __init__(self, system, log_base: int, capacity: int = 64):
+        self._system = system
+        self.log = UndoLog(system, log_base, capacity)
+
+    @contextmanager
+    def transaction(self):
+        """Context manager: commit on clean exit, roll back on exception."""
+        self.log.begin()
+        txn = Transaction(self._system, self.log)
+        try:
+            yield txn
+        except BaseException:
+            self.log.abort()
+            raise
+        else:
+            self.log.commit()
+
+    def recover(self) -> int:
+        """Post-crash cleanup: undo any transaction the crash interrupted.
+
+        Call after ``system.recover()`` — the log content itself is part of
+        the drained-and-restored persistent state.
+        """
+        return self.log.recover()
+
+    @property
+    def in_flight(self) -> bool:
+        return self.log.read_header()[0] is TxState.ACTIVE

@@ -1,0 +1,25 @@
+"""Run-time secure memory: controller, update schemes, recovery, audit."""
+
+from repro.secure.audit import AuditReport, audit_memory
+from repro.secure.cache_tree import ShadowRecovery
+from repro.secure.controller import SecureMemoryController
+from repro.secure.osiris import OsirisLazyScheme, OsirisRecovery
+from repro.secure.schemes import (
+    EagerUpdateScheme,
+    LazyUpdateScheme,
+    UpdateScheme,
+    make_scheme,
+)
+
+__all__ = [
+    "AuditReport",
+    "audit_memory",
+    "ShadowRecovery",
+    "SecureMemoryController",
+    "OsirisLazyScheme",
+    "OsirisRecovery",
+    "EagerUpdateScheme",
+    "LazyUpdateScheme",
+    "UpdateScheme",
+    "make_scheme",
+]

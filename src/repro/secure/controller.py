@@ -1,0 +1,400 @@
+"""The run-time secure memory controller.
+
+Implements counter-mode encryption with split counters, per-block data MACs,
+and a sparse 8-ary Bonsai Merkle Tree over the counter blocks — the secure
+NVM stack of Section II — together with the three security-metadata caches of
+Table I and a pluggable integrity-tree update scheme (eager / lazy).
+
+Baseline secure EPD systems drain the cache hierarchy straight through this
+controller's :meth:`write` path (Section IV-B), which is where the paper's
+10.3x memory-access explosion comes from: each flushed line drags its
+address-specific metadata through the caches, and sparse contents turn nearly
+every access into a miss plus a dirty eviction.
+"""
+
+from collections import OrderedDict
+
+from repro.common.config import SystemConfig
+from repro.common.constants import (
+    CACHE_LINE_SIZE,
+    COUNTER_BLOCK_COVERAGE,
+    MAC_SIZE,
+)
+from repro.common.config import CacheConfig
+from repro.common.errors import ConfigError, IntegrityError
+from repro.crypto.counters import SplitCounterBlock
+from repro.crypto.engine import AesEngine, MacEngine
+from repro.mem.nvm import NvmDevice
+from repro.mem.regions import MemoryLayout
+from repro.metadata.cache import MetadataCache, MetaLine
+from repro.metadata.nodes import DefaultNodes, TreeNode
+from repro.secure.schemes import UpdateScheme, make_scheme
+from repro.stats.counters import SimStats
+from repro.stats.events import MacKind, ReadKind, WriteKind
+
+_ZERO_BLOCK = bytes(CACHE_LINE_SIZE)
+
+
+class SecureMemoryController:
+    """Counter-mode encryption + BMT integrity over a timed NVM device."""
+
+    def __init__(self, config: SystemConfig, nvm: NvmDevice,
+                 layout: MemoryLayout, stats: SimStats,
+                 scheme: str | UpdateScheme = "lazy"):
+        self._config = config
+        self.nvm = nvm
+        self.layout = layout
+        self.stats = stats
+        self.functional = config.security.functional
+        self.scheme = (scheme if isinstance(scheme, UpdateScheme)
+                       else make_scheme(scheme))
+
+        self.aes = AesEngine(stats, functional=self.functional)
+        self.mac = MacEngine(stats, functional=self.functional)
+        self._defaults = DefaultNodes(self.mac._key, layout.num_tree_levels)
+
+        sec = config.security
+        self.counter_cache = MetadataCache(
+            _meta_cache_config("counter-cache", sec.counter_cache_size,
+                               sec.counter_cache_ways))
+        self.mac_cache = MetadataCache(
+            _meta_cache_config("mac-cache", sec.mac_cache_size,
+                               sec.mac_cache_ways))
+        self.tree_cache = MetadataCache(
+            _meta_cache_config("tree-cache", sec.tree_cache_size,
+                               sec.tree_cache_ways))
+
+        # On-chip persistent registers of the TCB.
+        self.root_mac = self._defaults.mac(layout.num_tree_levels)
+        self.cache_tree_root: bytes | None = None
+        self.shadow_count = 0
+
+        # Victim buffer for dirty metadata evictions.  A lazy writeback must
+        # atomically pair "write child to NVM" with "refresh parent slot";
+        # doing it inline from deep inside a fetch can evict lines that are
+        # still being verified or re-fetch a stale copy of the victim itself.
+        # Parking victims here and draining at the end of each top-level
+        # operation (with lookups absorbing buffered victims) closes both
+        # hazards — it is the writeback/victim buffer a real controller has.
+        self._victims: "OrderedDict[int, tuple[MetaLine, str]]" = OrderedDict()
+        self._draining_victims = False
+
+    # ------------------------------------------------------------------
+    # Public data path
+    # ------------------------------------------------------------------
+
+    def write(self, address: int, plaintext: bytes | None) -> None:
+        """Encrypt and persist one 64 B data block with full protection.
+
+        This is both the run-time LLC-writeback path and the per-line step of
+        a baseline secure drain.
+        """
+        self.layout.require_data_address(address)
+        counter_line = self.get_counter_line(address)
+        block: SplitCounterBlock = counter_line.value
+        slot = self.layout.counter_slot(address)
+
+        old_block = block.copy() if block.will_overflow(slot) else None
+        overflowed = block.increment(slot)
+        if overflowed:
+            self._reencrypt_page(address, old_block, block, skip_slot=slot)
+
+        counter = block.counter_for(slot)
+        ciphertext = self.aes.encrypt(address, counter, plaintext)
+        mac_value = self.mac.block_mac(
+            MacKind.DATA_PROTECT, ciphertext, address, counter)
+        self._store_data_mac(address, mac_value)
+        self.nvm.write(address, ciphertext if ciphertext is not None
+                       else _ZERO_BLOCK, WriteKind.DATA)
+        self.scheme.on_data_write(self, counter_line)
+        self.drain_victims()
+
+    def read(self, address: int) -> bytes:
+        """Fetch, verify, and decrypt one 64 B data block."""
+        self.layout.require_data_address(address)
+        ciphertext = self.nvm.read(address, ReadKind.DATA)
+        if not self.nvm.backend.is_written(address):
+            # Never-written memory decrypts to zeros by convention (boot-time
+            # initialized); there is nothing to verify yet.
+            return _ZERO_BLOCK
+        counter_line = self.get_counter_line(address)
+        slot = self.layout.counter_slot(address)
+        counter = counter_line.value.counter_for(slot)
+
+        stored_mac = self._load_data_mac(address)
+        actual_mac = self.mac.block_mac(
+            MacKind.VERIFY, ciphertext, address, counter)
+        if self.functional and stored_mac != actual_mac:
+            raise IntegrityError(
+                f"data MAC mismatch at {address:#x}", address)
+        plaintext = self.aes.decrypt(address, counter, ciphertext)
+        self.drain_victims()
+        return plaintext if plaintext is not None else _ZERO_BLOCK
+
+    # ------------------------------------------------------------------
+    # Counter blocks
+    # ------------------------------------------------------------------
+
+    def get_counter_line(self, data_address: int) -> MetaLine:
+        """Counter block for ``data_address``, verified and cached."""
+        cb_address = self.layout.counter_block_address(data_address)
+        line = self.counter_cache.lookup(cb_address)
+        if line is not None:
+            return line
+
+        buffered = self._absorb_victim(cb_address)
+        if buffered is not None:
+            self._cache_insert(self.counter_cache, buffered, "counter")
+            return buffered
+
+        raw = self.nvm.read(cb_address, ReadKind.COUNTER)
+        actual = self.mac.digest_mac(MacKind.VERIFY, raw)
+        expected = self._counter_slot_mac(cb_address)
+        if self.functional and actual != expected:
+            raise IntegrityError(
+                f"counter block MAC mismatch at {cb_address:#x}", cb_address)
+
+        line = MetaLine(cb_address, SplitCounterBlock.from_bytes(raw))
+        self._cache_insert(self.counter_cache, line, "counter")
+        return line
+
+    def _counter_slot_mac(self, cb_address: int) -> bytes:
+        level, index, slot = self.layout.parent_of_counter_block(cb_address)
+        parent = self.get_tree_node(level, index)
+        return parent.value.get_slot(slot)
+
+    def _writeback_counter(self, line: MetaLine) -> None:
+        if self.scheme.needs_parent_update_on_writeback():
+            content = line.value.to_bytes()
+            new_mac = self.mac.digest_mac(MacKind.TREE_UPDATE, content)
+            level, index, slot = self.layout.parent_of_counter_block(
+                line.address)
+            parent = self.get_tree_node(level, index)
+            parent.value.set_slot(slot, new_mac)
+            parent.dirty = True
+            self.nvm.write(line.address, content, WriteKind.COUNTER)
+        else:
+            self.nvm.write(line.address, line.value.to_bytes(),
+                           WriteKind.COUNTER)
+
+    # ------------------------------------------------------------------
+    # Tree nodes
+    # ------------------------------------------------------------------
+
+    def get_tree_node(self, level: int, index: int) -> MetaLine:
+        """Tree node (level, index), verified against its ancestors."""
+        address = self.layout.tree_node_address(level, index)
+        line = self.tree_cache.lookup(address)
+        if line is not None:
+            return line
+
+        buffered = self._absorb_victim(address)
+        if buffered is not None:
+            self._cache_insert(self.tree_cache, buffered, "tree")
+            return buffered
+
+        raw = self.nvm.read(address, ReadKind.TREE_NODE)
+        if not self.nvm.backend.is_written(address):
+            raw = self._defaults.content(level)
+        actual = self.mac.digest_mac(MacKind.VERIFY, raw)
+        expected = self._node_parent_mac(level, index)
+        if self.functional and actual != expected:
+            raise IntegrityError(
+                f"tree node ({level},{index}) MAC mismatch", address)
+
+        line = MetaLine(address, TreeNode(raw))
+        self._cache_insert(self.tree_cache, line, "tree")
+        return line
+
+    def _node_parent_mac(self, level: int, index: int) -> bytes:
+        if level == self.layout.num_tree_levels:
+            return self.root_mac
+        plevel, pindex, slot = self.layout.parent_of_tree_node(level, index)
+        parent = self.get_tree_node(plevel, pindex)
+        return parent.value.get_slot(slot)
+
+    def _writeback_tree_node(self, line: MetaLine) -> None:
+        level, index = self.layout.tree_node_coords(line.address)
+        content = line.value.to_bytes()
+        if self.scheme.needs_parent_update_on_writeback():
+            new_mac = self.mac.digest_mac(MacKind.TREE_UPDATE, content)
+            if level == self.layout.num_tree_levels:
+                self.root_mac = new_mac
+            else:
+                plevel, pindex, slot = self.layout.parent_of_tree_node(
+                    level, index)
+                parent = self.get_tree_node(plevel, pindex)
+                parent.value.set_slot(slot, new_mac)
+                parent.dirty = True
+        self.nvm.write(line.address, content, WriteKind.TREE_NODE)
+
+    def propagate_to_root(self, counter_line: MetaLine) -> None:
+        """Eager-scheme path refresh: counter block up to the root register."""
+        content_mac = self.mac.digest_mac(
+            MacKind.TREE_UPDATE, counter_line.value.to_bytes())
+        level, index, slot = self.layout.parent_of_counter_block(
+            counter_line.address)
+        while True:
+            node = self.get_tree_node(level, index)
+            node.value.set_slot(slot, content_mac)
+            node.dirty = True
+            content_mac = self.mac.digest_mac(
+                MacKind.TREE_UPDATE, node.value.to_bytes())
+            if level == self.layout.num_tree_levels:
+                self.root_mac = content_mac
+                return
+            level, index, slot = self.layout.parent_of_tree_node(level, index)
+
+    # ------------------------------------------------------------------
+    # Data MAC blocks
+    # ------------------------------------------------------------------
+
+    def _get_mac_line(self, data_address: int) -> MetaLine:
+        mb_address = self.layout.mac_block_address(data_address)
+        line = self.mac_cache.lookup(mb_address)
+        if line is not None:
+            return line
+
+        buffered = self._absorb_victim(mb_address)
+        if buffered is not None:
+            self._cache_insert(self.mac_cache, buffered, "mac")
+            return buffered
+
+        raw = self.nvm.read(mb_address, ReadKind.MAC)
+        line = MetaLine(mb_address, bytearray(raw))
+        self._cache_insert(self.mac_cache, line, "mac")
+        return line
+
+    def _store_data_mac(self, data_address: int, mac_value: bytes) -> None:
+        line = self._get_mac_line(data_address)
+        slot = self.layout.mac_slot(data_address)
+        line.value[slot * MAC_SIZE:(slot + 1) * MAC_SIZE] = mac_value
+        line.dirty = True
+
+    def _load_data_mac(self, data_address: int) -> bytes:
+        line = self._get_mac_line(data_address)
+        slot = self.layout.mac_slot(data_address)
+        return bytes(line.value[slot * MAC_SIZE:(slot + 1) * MAC_SIZE])
+
+    # ------------------------------------------------------------------
+    # Victim buffer
+    # ------------------------------------------------------------------
+
+    def _cache_insert(self, cache: MetadataCache, line: MetaLine,
+                      kind: str) -> None:
+        """Insert into a metadata cache; dirty victims park in the buffer."""
+        victim = cache.insert(line)
+        if victim is not None and victim.dirty:
+            self._victims[victim.address] = (victim, kind)
+
+    def _absorb_victim(self, address: int) -> MetaLine | None:
+        """A lookup hit in the victim buffer: reclaim the line unwritten.
+
+        The buffered copy is the newest version of the block; pulling it back
+        avoids both the NVM round-trip and the stale-fetch hazard.  No
+        verification is needed — it never left the TCB.
+        """
+        entry = self._victims.pop(address, None)
+        return entry[0] if entry is not None else None
+
+    def drain_victims(self) -> None:
+        """Write out parked victims (may cascade; runs to a fixed point)."""
+        if self._draining_victims:
+            return
+        self._draining_victims = True
+        try:
+            while self._victims:
+                _, (line, kind) = self._victims.popitem(last=False)
+                if kind == "counter":
+                    self._writeback_counter(line)
+                elif kind == "tree":
+                    self._writeback_tree_node(line)
+                else:
+                    self.nvm.write(line.address, bytes(line.value),
+                                   WriteKind.DATA_MAC)
+        finally:
+            self._draining_victims = False
+
+    # ------------------------------------------------------------------
+    # Page re-encryption on minor-counter overflow
+    # ------------------------------------------------------------------
+
+    def _reencrypt_page(self, address: int, old: SplitCounterBlock | None,
+                        new: SplitCounterBlock, skip_slot: int) -> None:
+        """Minor overflow bumped the major: re-encrypt the whole 4 KiB page."""
+        if old is None:
+            raise ConfigError("overflow without captured old counters")
+        page_base = address - (address % COUNTER_BLOCK_COVERAGE)
+        for slot in range(64):
+            line_address = page_base + slot * CACHE_LINE_SIZE
+            if slot == skip_slot or not self.nvm.backend.is_written(line_address):
+                continue
+            ciphertext = self.nvm.read(line_address, ReadKind.DATA)
+            plaintext = self.aes.decrypt(
+                line_address, old.counter_for(slot), ciphertext)
+            new_ct = self.aes.encrypt(
+                line_address, new.counter_for(slot), plaintext)
+            mac_value = self.mac.block_mac(
+                MacKind.DATA_PROTECT, new_ct, line_address,
+                new.counter_for(slot))
+            self._store_data_mac(line_address, mac_value)
+            self.nvm.write(line_address,
+                           new_ct if new_ct is not None else _ZERO_BLOCK,
+                           WriteKind.DATA)
+
+    # ------------------------------------------------------------------
+    # Drain / recovery support
+    # ------------------------------------------------------------------
+
+    @property
+    def metadata_caches(self) -> tuple[MetadataCache, ...]:
+        return (self.counter_cache, self.tree_cache, self.mac_cache)
+
+    def flush_metadata(self) -> None:
+        """Drain-time step 2 (scheme-specific)."""
+        self.drain_victims()
+        self.scheme.flush_metadata(self)
+
+    def line_bytes(self, line: MetaLine) -> bytes:
+        """Serialize any metadata-cache line value to its 64 B wire form."""
+        value = line.value
+        if isinstance(value, SplitCounterBlock):
+            return value.to_bytes()
+        if isinstance(value, TreeNode):
+            return value.to_bytes()
+        return bytes(value)
+
+    def drop_volatile_state(self) -> None:
+        """Model a crash: all metadata caches lose their content.
+
+        On-chip *persistent* registers (tree root, cache-tree root, drain
+        counters held by the Horus engine) survive by definition.
+        """
+        for cache in self.metadata_caches:
+            cache.clear()
+        self._victims.clear()
+
+    def restore_metadata_line(self, address: int, content: bytes) -> None:
+        """Recovery hook: re-install a verified metadata block in its cache."""
+        region = self.layout.classify(address)
+        if region == "counters":
+            cache: MetadataCache = self.counter_cache
+            value: object = SplitCounterBlock.from_bytes(content)
+        elif region == "tree":
+            cache = self.tree_cache
+            value = TreeNode(content)
+        elif region == "macs":
+            cache = self.mac_cache
+            value = bytearray(content)
+        else:
+            raise ConfigError(
+                f"{address:#x} ({region}) is not a metadata address")
+        victim = cache.insert(MetaLine(address, value, dirty=True))
+        if victim is not None and victim.dirty:
+            raise ConfigError("metadata restore must not evict dirty lines")
+
+
+def _meta_cache_config(name: str, size: int, ways: int) -> CacheConfig:
+    if ways < 2:
+        raise ConfigError(f"{name} needs at least 2 ways for safe evictions")
+    return CacheConfig(name, size, ways, latency_cycles=1)

@@ -1,0 +1,72 @@
+"""Terminal bar charts.
+
+The paper's figures are bar charts; the runner can render each regenerated
+series as horizontal ASCII bars (``--chart``) so the visual shape — who
+wins, by what factor — is inspectable straight from the terminal.
+"""
+
+from collections.abc import Mapping, Sequence
+
+FULL = "#"
+DEFAULT_WIDTH = 48
+
+
+def render_bars(labels: Sequence[str], values: Sequence[float],
+                width: int = DEFAULT_WIDTH,
+                reference: float | None = None) -> str:
+    """Render one horizontal bar per (label, value).
+
+    Bars scale so the largest value (or ``reference``) spans ``width``
+    characters; each line ends with the numeric value.
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    if not labels:
+        return ""
+    if width <= 0:
+        raise ValueError("width must be positive")
+    peak = max(values) if reference is None else reference
+    if peak <= 0:
+        peak = 1.0
+    label_width = max(len(label) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        cells = round(width * min(value, peak) / peak)
+        if value > 0 and cells == 0:
+            cells = 1
+        bar = FULL * cells
+        lines.append(f"{label.ljust(label_width)} | {bar} {value:,.3f}")
+    return "\n".join(lines)
+
+
+def render_grouped(groups: Mapping[str, Mapping[str, float]],
+                   width: int = DEFAULT_WIDTH) -> str:
+    """Render grouped bars: ``{group: {series: value}}`` (e.g. LLC sweeps),
+    scaled by the global maximum so groups are comparable."""
+    peak = max((value for series in groups.values()
+                for value in series.values()), default=1.0)
+    blocks = []
+    for group, series in groups.items():
+        blocks.append(f"{group}:")
+        body = render_bars(list(series), list(series.values()),
+                           width=width, reference=peak)
+        blocks.append("  " + body.replace("\n", "\n  "))
+    return "\n".join(blocks)
+
+
+def chart_experiment(result, value_column: int = -1,
+                     width: int = DEFAULT_WIDTH) -> str:
+    """Bar-chart one column of an ExperimentResult's table.
+
+    Rows whose chosen column is not numeric are skipped; the first column is
+    the bar label.
+    """
+    labels, values = [], []
+    for row in result.rows:
+        value = row[value_column]
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        labels.append(str(row[0]))
+        values.append(float(value))
+    header = f"{result.experiment_id} — {result.headers[value_column]}"
+    return header + "\n" + render_bars(labels, values, width=width)

@@ -1,0 +1,48 @@
+"""Plain-text table rendering for experiment output.
+
+The experiment harness prints the same rows/series the paper reports; these
+helpers keep that formatting in one place (and importantly, out of the
+simulation code).
+"""
+
+from collections.abc import Iterable, Mapping, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render an aligned monospace table with a header rule."""
+    materialized = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    rule = "  ".join("-" * w for w in widths)
+    body = [line(headers), rule]
+    body.extend(line(row) for row in materialized)
+    return "\n".join(body)
+
+
+def format_breakdown(title: str, breakdown: Mapping[str, int],
+                     normalize_to: int | None = None) -> str:
+    """Render a one-column breakdown, optionally with a normalized column."""
+    headers = ["component", "count"]
+    if normalize_to:
+        headers.append("normalized")
+    rows = []
+    for key, value in breakdown.items():
+        row: list[object] = [key, value]
+        if normalize_to:
+            row.append(f"{value / normalize_to:.3f}")
+        rows.append(row)
+    return f"{title}\n{format_table(headers, rows)}"
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)

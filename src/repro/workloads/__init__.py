@@ -1,0 +1,26 @@
+"""Workload traces and generators."""
+
+from repro.workloads.generators import (
+    analytics_scan_trace,
+    graph_walk_trace,
+    kvstore_trace,
+    replay,
+    transactional_trace,
+)
+from repro.workloads.trace import MemoryOp, OpKind, TraceSummary, summarize
+from repro.workloads.ycsb import ycsb_trace
+from repro.workloads.zipf import ZipfSampler
+
+__all__ = [
+    "ycsb_trace",
+    "ZipfSampler",
+    "analytics_scan_trace",
+    "graph_walk_trace",
+    "kvstore_trace",
+    "replay",
+    "transactional_trace",
+    "MemoryOp",
+    "OpKind",
+    "TraceSummary",
+    "summarize",
+]

@@ -1,0 +1,54 @@
+"""Trace file I/O.
+
+Traces serialize to JSON-lines (one op per line) so workloads can be
+generated once, inspected with standard tools, shared between experiments,
+and replayed byte-identically across library versions.
+"""
+
+import base64
+import json
+from pathlib import Path
+
+from repro.common.errors import ConfigError
+from repro.workloads.trace import MemoryOp, OpKind
+
+
+def op_to_json(op: MemoryOp) -> str:
+    record: dict = {"op": op.kind.value, "addr": op.address}
+    if op.data is not None:
+        record["data"] = base64.b64encode(op.data).decode("ascii")
+    return json.dumps(record, separators=(",", ":"))
+
+
+def op_from_json(line: str) -> MemoryOp:
+    try:
+        record = json.loads(line)
+        kind = OpKind(record["op"])
+        address = int(record["addr"])
+    except (json.JSONDecodeError, KeyError, ValueError) as error:
+        raise ConfigError(f"malformed trace line: {line!r}") from error
+    data = None
+    if "data" in record:
+        data = base64.b64decode(record["data"])
+    return MemoryOp(kind, address, data)
+
+
+def save_trace(trace: list[MemoryOp], path: str | Path) -> Path:
+    """Write a trace as JSON-lines; returns the path written."""
+    path = Path(path)
+    with path.open("w") as handle:
+        for op in trace:
+            handle.write(op_to_json(op) + "\n")
+    return path
+
+
+def load_trace(path: str | Path) -> list[MemoryOp]:
+    """Read a JSON-lines trace file."""
+    path = Path(path)
+    trace = []
+    with path.open() as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                trace.append(op_from_json(line))
+    return trace

@@ -1,0 +1,126 @@
+"""YCSB-style core workload mixes over the block-trace substrate.
+
+The paper motivates EPD with key-value store workloads; YCSB's core
+workloads A-F are the community-standard shapes for those.  Each generator
+returns a block-granular :class:`~repro.workloads.trace.MemoryOp` trace with
+the canonical operation mix and a (scrambled) Zipfian key distribution.
+
+=========  ===========================  ==========
+workload   mix                          skew
+=========  ===========================  ==========
+A          50% reads / 50% updates      zipfian
+B          95% reads / 5% updates       zipfian
+C          100% reads                   zipfian
+D          95% reads / 5% inserts       latest
+E          95% scans / 5% inserts       zipfian
+F          read-modify-write            zipfian
+=========  ===========================  ==========
+"""
+
+import random
+
+from repro.common.constants import CACHE_LINE_SIZE
+from repro.common.errors import ConfigError
+from repro.common.rng import make_rng
+from repro.workloads.trace import MemoryOp, OpKind
+from repro.workloads.zipf import ZipfSampler, scrambled
+
+SCAN_LENGTH = 8
+"""Blocks touched by one workload-E scan."""
+
+
+def _payload(rng: random.Random, key: int) -> bytes:
+    head = key.to_bytes(8, "little") * 2
+    noise = rng.getrandbits(8 * 48).to_bytes(48, "little")
+    return head + noise
+
+
+class _Generator:
+    def __init__(self, num_ops: int, footprint_blocks: int, base: int,
+                 theta: float, seed: int | None):
+        if num_ops < 0:
+            raise ConfigError("op count cannot be negative")
+        self.rng = make_rng(seed)
+        self.num_ops = num_ops
+        self.footprint = footprint_blocks
+        self.base = base
+        self.zipf = ZipfSampler(footprint_blocks, theta,
+                                seed=self.rng.randrange(1 << 30))
+        self.mapping = scrambled(self.zipf, self.rng)
+        self.inserted = max(1, footprint_blocks // 2)
+
+    def address_of(self, key: int) -> int:
+        return self.base + self.mapping[key % self.footprint] \
+            * CACHE_LINE_SIZE
+
+    def zipf_key(self, limit: int | None = None) -> int:
+        key = self.zipf.sample()
+        if limit is not None:
+            key %= limit
+        return key
+
+    def latest_key(self) -> int:
+        """Workload D: reads skew toward recently inserted keys."""
+        offset = self.zipf.sample()
+        return max(0, self.inserted - 1 - offset) % self.footprint
+
+    def read(self, key: int) -> MemoryOp:
+        return MemoryOp(OpKind.READ, self.address_of(key))
+
+    def write(self, key: int) -> MemoryOp:
+        return MemoryOp(OpKind.WRITE, self.address_of(key),
+                        _payload(self.rng, key))
+
+    def insert(self) -> MemoryOp:
+        op = self.write(self.inserted % self.footprint)
+        self.inserted += 1
+        return op
+
+    def scan(self, start_key: int, length: int) -> list[MemoryOp]:
+        """Workload E: a range scan is sequential in *address* space."""
+        start = self.address_of(start_key) - self.base
+        span = self.footprint * CACHE_LINE_SIZE
+        return [
+            MemoryOp(OpKind.READ,
+                     self.base + (start + i * CACHE_LINE_SIZE) % span)
+            for i in range(length)
+        ]
+
+
+def ycsb_trace(workload: str, num_ops: int, footprint_blocks: int,
+               base: int = 0, theta: float = 0.99,
+               seed: int | None = None) -> list[MemoryOp]:
+    """Generate a YCSB core-workload trace (``workload`` in 'a'..'f')."""
+    workload = workload.lower()
+    if workload not in "abcdef" or len(workload) != 1:
+        raise ConfigError(f"unknown YCSB workload {workload!r}")
+    gen = _Generator(num_ops, footprint_blocks, base, theta, seed)
+    trace: list[MemoryOp] = []
+
+    while len(trace) < num_ops:
+        roll = gen.rng.random()
+        if workload == "a":
+            trace.append(gen.write(gen.zipf_key()) if roll < 0.5
+                         else gen.read(gen.zipf_key()))
+        elif workload == "b":
+            trace.append(gen.write(gen.zipf_key()) if roll < 0.05
+                         else gen.read(gen.zipf_key()))
+        elif workload == "c":
+            trace.append(gen.read(gen.zipf_key()))
+        elif workload == "d":
+            if roll < 0.05:
+                trace.append(gen.insert())
+            else:
+                trace.append(gen.read(gen.latest_key()))
+        elif workload == "e":
+            if roll < 0.05:
+                trace.append(gen.insert())
+            else:
+                trace.extend(gen.scan(gen.zipf_key(), SCAN_LENGTH))
+        else:  # f: read-modify-write
+            key = gen.zipf_key()
+            trace.append(gen.read(key))
+            if len(trace) < num_ops:
+                trace.append(gen.write(key))
+
+    return trace[:num_ops]

@@ -1,0 +1,57 @@
+"""Zipfian sampling for skewed workloads.
+
+Key-value and graph workloads are heavily skewed in practice; YCSB uses a
+Zipfian request distribution.  This sampler precomputes the CDF once and
+draws in O(log n) via bisection — fast enough to generate million-op traces.
+"""
+
+import bisect
+import random
+
+from repro.common.errors import ConfigError
+from repro.common.rng import make_rng
+
+
+class ZipfSampler:
+    """Draws integers in ``[0, n)`` with P(k) proportional to 1/(k+1)^theta."""
+
+    def __init__(self, n: int, theta: float = 0.99,
+                 seed: int | None = None):
+        if n <= 0:
+            raise ConfigError("zipf population must be positive")
+        if theta < 0:
+            raise ConfigError("zipf exponent must be non-negative")
+        self._rng = make_rng(seed)
+        self._cdf: list[float] = []
+        total = 0.0
+        for k in range(n):
+            total += 1.0 / ((k + 1) ** theta)
+            self._cdf.append(total)
+        self._total = total
+
+    @property
+    def population(self) -> int:
+        return len(self._cdf)
+
+    def sample(self) -> int:
+        """One Zipf-distributed draw (0 is the hottest key)."""
+        point = self._rng.random() * self._total
+        return bisect.bisect_left(self._cdf, point)
+
+    def sample_many(self, count: int) -> list[int]:
+        return [self.sample() for _ in range(count)]
+
+    def probability(self, k: int) -> float:
+        """Exact probability of drawing ``k`` (for tests)."""
+        if not 0 <= k < len(self._cdf):
+            raise ConfigError(f"k={k} outside population")
+        low = self._cdf[k - 1] if k else 0.0
+        return (self._cdf[k] - low) / self._total
+
+
+def scrambled(sampler: ZipfSampler, rng: random.Random) -> list[int]:
+    """A permutation mapping rank -> key, so hot keys are scattered across
+    the address space (YCSB's 'scrambled zipfian')."""
+    mapping = list(range(sampler.population))
+    rng.shuffle(mapping)
+    return mapping

@@ -1,0 +1,48 @@
+"""Shared fixtures: scaled-down configurations and ready-made systems.
+
+``tiny`` configurations keep whole-system tests in the millisecond range
+while preserving the paper's structure (same stride ratio, same tree arity,
+same cache organization).
+"""
+
+import pytest
+
+from repro.common.config import SystemConfig
+from repro.core.system import SecureEpdSystem
+
+
+@pytest.fixture(scope="session")
+def tiny_config() -> SystemConfig:
+    """1/512-scale Table I configuration (~600 flushed lines)."""
+    return SystemConfig.scaled(512)
+
+
+@pytest.fixture(scope="session")
+def small_config() -> SystemConfig:
+    """1/128-scale Table I configuration (~2300 flushed lines)."""
+    return SystemConfig.scaled(128)
+
+
+@pytest.fixture
+def horus_system(tiny_config) -> SecureEpdSystem:
+    return SecureEpdSystem(tiny_config, scheme="horus-slm")
+
+
+@pytest.fixture
+def horus_dlm_system(tiny_config) -> SecureEpdSystem:
+    return SecureEpdSystem(tiny_config, scheme="horus-dlm")
+
+
+@pytest.fixture
+def base_lu_system(tiny_config) -> SecureEpdSystem:
+    return SecureEpdSystem(tiny_config, scheme="base-lu")
+
+
+@pytest.fixture
+def base_eu_system(tiny_config) -> SecureEpdSystem:
+    return SecureEpdSystem(tiny_config, scheme="base-eu")
+
+
+@pytest.fixture
+def nosec_system(tiny_config) -> SecureEpdSystem:
+    return SecureEpdSystem(tiny_config, scheme="nosec")

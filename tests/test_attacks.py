@@ -1,0 +1,60 @@
+"""The adversary's toolbox (mechanics; detection is tested with the
+controller and recovery suites)."""
+
+import pytest
+
+from repro.attacks.adversary import Adversary
+from repro.common.errors import AddressError
+from repro.mem.nvm import NvmDevice
+
+
+@pytest.fixture
+def nvm() -> NvmDevice:
+    device = NvmDevice(1 << 20)
+    device.poke(0, b"\x10" * 64)
+    device.poke(64, b"\x20" * 64)
+    return device
+
+
+class TestAdversaryOperations:
+    def test_observe_reads_without_accounting(self, nvm):
+        adversary = Adversary(nvm)
+        assert adversary.observe(0) == b"\x10" * 64
+        assert nvm.stats.total_reads == 0
+
+    def test_tamper_flips_selected_byte(self, nvm):
+        adversary = Adversary(nvm)
+        original = adversary.tamper(0, byte_offset=5, xor_mask=0x0F)
+        assert original == b"\x10" * 64
+        mutated = nvm.peek(0)
+        assert mutated[5] == 0x10 ^ 0x0F
+        assert mutated[:5] == b"\x10" * 5
+
+    def test_tamper_rejects_bad_offset(self, nvm):
+        with pytest.raises(AddressError):
+            Adversary(nvm).tamper(0, byte_offset=64)
+
+    def test_spoof_replaces_content(self, nvm):
+        adversary = Adversary(nvm)
+        original = adversary.spoof(0, b"\xee" * 64)
+        assert original == b"\x10" * 64
+        assert nvm.peek(0) == b"\xee" * 64
+
+    def test_snapshot_replay_roundtrip(self, nvm):
+        adversary = Adversary(nvm)
+        snapshot = adversary.snapshot(0)
+        nvm.poke(0, b"\x99" * 64)
+        adversary.replay(0, snapshot)
+        assert nvm.peek(0) == b"\x10" * 64
+
+    def test_splice_swaps_blocks(self, nvm):
+        Adversary(nvm).splice(0, 64)
+        assert nvm.peek(0) == b"\x20" * 64
+        assert nvm.peek(64) == b"\x10" * 64
+
+    def test_adversary_writes_are_not_accounted(self, nvm):
+        adversary = Adversary(nvm)
+        adversary.tamper(0)
+        adversary.splice(0, 64)
+        adversary.spoof(0, bytes(64))
+        assert nvm.stats.total_memory_requests == 0

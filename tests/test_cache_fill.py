@@ -1,0 +1,102 @@
+"""Worst-case fill patterns: the property that drives the whole paper."""
+
+import pytest
+
+from repro.cache.fill import (
+    PageAllocator,
+    make_allocator,
+    page_of,
+    sequential_addresses,
+    strided_addresses,
+    worst_case_addresses,
+)
+from repro.common.config import SystemConfig
+from repro.common.errors import ConfigError
+
+
+class TestPageAllocator:
+    def test_never_repeats(self):
+        allocator = PageAllocator(1000)
+        pages = [allocator.allocate() for _ in range(100)]
+        assert len(set(pages)) == 100
+
+    def test_congruence_is_honored(self):
+        allocator = PageAllocator(10000)
+        for _ in range(20):
+            assert allocator.allocate(residue=3, period=8) % 8 == 3
+
+    def test_mixed_periods_never_collide(self):
+        allocator = PageAllocator(10000)
+        pages = [allocator.allocate(0, 1) for _ in range(50)]
+        pages += [allocator.allocate(0, 8) for _ in range(50)]
+        pages += [allocator.allocate(2, 4) for _ in range(50)]
+        assert len(set(pages)) == 150
+
+    def test_exhaustion_raises(self):
+        allocator = PageAllocator(4)
+        for _ in range(4):
+            allocator.allocate()
+        with pytest.raises(ConfigError):
+            allocator.allocate()
+
+
+class TestWorstCaseAddresses:
+    @pytest.fixture(scope="class", params=[512, 128])
+    def config(self, request) -> SystemConfig:
+        return SystemConfig.scaled(request.param)
+
+    def test_fills_every_set_exactly(self, config):
+        cache = config.llc
+        addresses = list(worst_case_addresses(cache, make_allocator(config)))
+        assert len(addresses) == cache.num_lines
+        per_set: dict[int, int] = {}
+        for addr in addresses:
+            s = (addr // 64) % cache.num_sets
+            per_set[s] = per_set.get(s, 0) + 1
+        assert set(per_set.values()) == {cache.ways}
+        assert len(per_set) == cache.num_sets
+
+    def test_every_line_in_its_own_counter_page(self, config):
+        """THE worst-case property: no two lines share a 4 KiB counter page,
+        so every flushed line misses in the counter cache."""
+        addresses = list(worst_case_addresses(config.llc,
+                                              make_allocator(config)))
+        pages = [page_of(a) for a in addresses]
+        assert len(set(pages)) == len(pages)
+
+    def test_addresses_stay_in_data_region(self, config):
+        for addr in worst_case_addresses(config.llc, make_allocator(config)):
+            assert 0 <= addr < config.memory.size
+            assert addr % 64 == 0
+
+    def test_shared_allocator_keeps_levels_disjoint(self, config):
+        allocator = make_allocator(config)
+        llc = set(worst_case_addresses(config.llc, allocator))
+        l2 = set(worst_case_addresses(config.l2, allocator))
+        assert not llc & l2
+        assert len({page_of(a) for a in llc | l2}) == len(llc) + len(l2)
+
+
+class TestOtherPatterns:
+    def test_sequential_is_contiguous(self):
+        config = SystemConfig.scaled(512)
+        addresses = list(sequential_addresses(config.llc))
+        assert addresses[0] == 0
+        assert addresses[1] - addresses[0] == 64
+        assert len(addresses) == config.llc.num_lines
+
+    def test_sequential_shares_counter_pages(self):
+        config = SystemConfig.scaled(512)
+        addresses = list(sequential_addresses(config.llc))
+        pages = {page_of(a) for a in addresses}
+        assert len(pages) == len(addresses) // 64
+
+    def test_strided_spacing(self):
+        config = SystemConfig.scaled(512)
+        addresses = list(strided_addresses(config.llc, 16384))
+        assert addresses[1] - addresses[0] == 16384
+
+    def test_strided_rejects_unaligned(self):
+        config = SystemConfig.scaled(512)
+        with pytest.raises(ConfigError):
+            list(strided_addresses(config.llc, 100))

@@ -1,0 +1,147 @@
+"""Three-level inclusive cache hierarchy."""
+
+import pytest
+
+from repro.cache.fill import page_of
+from repro.cache.hierarchy import CacheHierarchy
+from repro.common.errors import ConfigError
+
+
+@pytest.fixture
+def hierarchy(tiny_config) -> CacheHierarchy:
+    return CacheHierarchy(tiny_config)
+
+
+class _MemoryStub:
+    """Minimal memory side for run-time tests."""
+
+    def __init__(self):
+        self.store: dict[int, bytes] = {}
+        self.fetches = 0
+        self.writebacks = 0
+
+    def fetch(self, address: int) -> bytes:
+        self.fetches += 1
+        return self.store.get(address, bytes(64))
+
+    def writeback(self, address: int, data: bytes) -> None:
+        self.writebacks += 1
+        self.store[address] = data
+
+
+@pytest.fixture
+def attached(hierarchy):
+    stub = _MemoryStub()
+    hierarchy.attach(stub.fetch, stub.writeback)
+    return hierarchy, stub
+
+
+class TestWorstCaseFill:
+    def test_fill_count_is_sum_of_levels(self, hierarchy, tiny_config):
+        filled = hierarchy.fill_worst_case(seed=1)
+        assert filled == tiny_config.total_cache_lines
+        assert len(hierarchy.l1) == tiny_config.l1.num_lines
+        assert len(hierarchy.l2) == tiny_config.l2.num_lines
+        assert len(hierarchy.llc) == tiny_config.llc.num_lines
+
+    def test_everything_is_dirty(self, hierarchy, tiny_config):
+        hierarchy.fill_worst_case(seed=1)
+        assert hierarchy.dirty_line_count() == tiny_config.total_cache_lines
+
+    def test_inclusion_holds(self, hierarchy):
+        hierarchy.fill_worst_case(seed=1)
+        for upper in (hierarchy.l1, hierarchy.l2):
+            for line in upper.lines():
+                assert hierarchy.llc.contains(line.address)
+
+    def test_llc_lines_have_unique_counter_pages(self, hierarchy):
+        hierarchy.fill_worst_case(seed=1)
+        pages = [page_of(line.address) for line in hierarchy.llc.lines()]
+        assert len(set(pages)) == len(pages)
+
+    def test_fill_is_deterministic_per_seed(self, tiny_config):
+        a = CacheHierarchy(tiny_config)
+        b = CacheHierarchy(tiny_config)
+        a.fill_worst_case(seed=7)
+        b.fill_worst_case(seed=7)
+        assert ([line.address for line in a.llc.lines()]
+                == [line.address for line in b.llc.lines()])
+
+
+class TestDrainStream:
+    def test_drain_covers_every_dirty_line(self, hierarchy, tiny_config):
+        hierarchy.fill_worst_case(seed=1)
+        drained = list(hierarchy.drain_lines(seed=2))
+        assert len(drained) == tiny_config.total_cache_lines
+
+    def test_drain_order_is_shuffled_but_deterministic(self, hierarchy):
+        hierarchy.fill_worst_case(seed=1)
+        order_a = [line.address for line in hierarchy.drain_lines(seed=3)]
+        order_b = [line.address for line in hierarchy.drain_lines(seed=3)]
+        order_c = [line.address for line in hierarchy.drain_lines(seed=4)]
+        assert order_a == order_b
+        assert order_a != order_c
+
+    def test_duplicates_match_upper_level_content(self, hierarchy):
+        hierarchy.fill_worst_case(seed=1)
+        from collections import Counter
+        counts = Counter(line.address
+                         for line in hierarchy.drain_lines(seed=2))
+        extra_flushes = sum(c - 1 for c in counts.values())
+        upper_lines = len(hierarchy.l1) + len(hierarchy.l2)
+        assert extra_flushes == upper_lines
+
+
+class TestRuntimePath:
+    def test_read_miss_fetches_and_fills_all_levels(self, attached):
+        hierarchy, stub = attached
+        stub.store[0] = b"\x2a" * 64
+        assert hierarchy.read(0) == b"\x2a" * 64
+        assert stub.fetches == 1
+        assert hierarchy.l1.contains(0)
+        assert hierarchy.l2.contains(0)
+        assert hierarchy.llc.contains(0)
+
+    def test_read_hit_does_not_fetch_again(self, attached):
+        hierarchy, stub = attached
+        hierarchy.read(0)
+        hierarchy.read(0)
+        assert stub.fetches == 1
+
+    def test_write_marks_l1_dirty(self, attached):
+        hierarchy, _ = attached
+        hierarchy.write(64, b"\x01" * 64)
+        line = hierarchy.l1.lookup(64, touch=False)
+        assert line.dirty and line.data == b"\x01" * 64
+
+    def test_write_visible_through_read(self, attached):
+        hierarchy, _ = attached
+        hierarchy.write(128, b"\x07" * 64)
+        assert hierarchy.read(128) == b"\x07" * 64
+
+    def test_capacity_pressure_writes_back_dirty_data(self, attached,
+                                                      tiny_config):
+        hierarchy, stub = attached
+        lines = tiny_config.llc.num_lines + tiny_config.llc.num_sets
+        for i in range(lines):
+            hierarchy.write(i * 64, i.to_bytes(8, "little") * 8)
+        assert stub.writebacks > 0
+        # Every written-back block must carry the exact data written.
+        for address, data in stub.store.items():
+            assert data == (address // 64).to_bytes(8, "little") * 8
+
+    def test_detached_hierarchy_raises(self, hierarchy):
+        with pytest.raises(ConfigError):
+            hierarchy.read(0)
+
+
+class TestRestore:
+    def test_restore_dirty_places_line_in_llc(self, hierarchy):
+        hierarchy.restore_dirty(4096, b"\x11" * 64)
+        line = hierarchy.llc.lookup(4096, touch=False)
+        assert line.dirty and line.data == b"\x11" * 64
+
+    def test_invalidate_all(self, hierarchy):
+        hierarchy.fill_worst_case(seed=1)
+        hierarchy.invalidate_all()
+        assert len(hierarchy) == 0

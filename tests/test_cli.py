@@ -1,0 +1,70 @@
+"""Command-line interface and cache hit-rate collection."""
+
+import pytest
+
+from repro.cli import main
+from repro.core.system import SecureEpdSystem
+from repro.stats.hitrate import collect_cache_stats, hit_rate_rows
+
+
+class TestCliSubcommands:
+    def test_info(self, capsys):
+        assert main(["info", "--scale", "128"]) == 0
+        out = capsys.readouterr().out
+        assert "worst-case flushed blocks" in out
+        assert "horus-dlm" in out
+        assert "chv" in out
+
+    @pytest.mark.parametrize("scheme", ["nosec", "horus-dlm"])
+    def test_simulate(self, capsys, scheme):
+        assert main(["simulate", "--scheme", scheme,
+                     "--scale", "512"]) == 0
+        out = capsys.readouterr().out
+        assert "memory requests" in out
+        assert "cache hit rates" in out
+
+    def test_audit_clean(self, capsys):
+        assert main(["audit", "--scale", "256", "--blocks", "4"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_audit_tampered_fails(self, capsys):
+        assert main(["audit", "--scale", "256", "--blocks", "4",
+                     "--tamper", "0x1000"]) == 1
+        assert "FAILURES" in capsys.readouterr().out
+
+    def test_no_subcommand_runs_experiments(self, capsys):
+        assert main(["fig16", "--scale", "128"]) == 0
+        assert "fig16" in capsys.readouterr().out
+
+    def test_experiments_subcommand_forwards(self, capsys):
+        assert main(["experiments", "fig16", "--scale", "128"]) == 0
+        assert "fig16" in capsys.readouterr().out
+
+
+class TestHitRates:
+    def test_collects_all_six_caches_for_secure_scheme(self, tiny_config):
+        system = SecureEpdSystem(tiny_config, scheme="base-lu")
+        names = {rate.name for rate in collect_cache_stats(system)}
+        assert names == {"L1", "L2", "LLC", "counter-cache", "mac-cache",
+                         "tree-cache"}
+
+    def test_nosec_has_only_data_caches(self, tiny_config):
+        system = SecureEpdSystem(tiny_config, scheme="nosec")
+        assert len(collect_cache_stats(system)) == 3
+
+    def test_rates_reflect_activity(self, tiny_config):
+        system = SecureEpdSystem(tiny_config, scheme="nosec")
+        system.write(0, bytes(64))
+        system.read(0)
+        rates = {r.name: r for r in collect_cache_stats(system)}
+        assert rates["L1"].hits >= 1
+        assert rates["L1"].hit_rate > 0
+
+    def test_rows_shape(self, tiny_config):
+        system = SecureEpdSystem(tiny_config, scheme="horus-slm")
+        rows = hit_rate_rows(system)
+        assert all(len(row) == 4 for row in rows)
+
+    def test_empty_cache_rate_is_zero(self, tiny_config):
+        system = SecureEpdSystem(tiny_config, scheme="nosec")
+        assert all(r.hit_rate == 0.0 for r in collect_cache_stats(system))

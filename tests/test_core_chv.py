@@ -1,0 +1,74 @@
+"""CHV layout and sizing."""
+
+import pytest
+
+from repro.common.config import SystemConfig
+from repro.common.errors import AddressError
+from repro.core.chv import (
+    MAC_GROUP_DLM,
+    MAC_GROUP_SLM,
+    ChvLayout,
+    expected_chv_bytes,
+)
+from repro.mem.regions import MemoryLayout
+
+
+@pytest.fixture(scope="module")
+def chv(tiny_config) -> ChvLayout:
+    return ChvLayout.for_layout(MemoryLayout(tiny_config))
+
+
+class TestCapacity:
+    def test_capacity_covers_hierarchy_plus_metadata(self, chv, tiny_config):
+        needed = (tiny_config.total_cache_lines
+                  + tiny_config.metadata_cache_size // 64)
+        # Rounded up to a whole 64-position (DLM) coalescing group.
+        assert chv.capacity == -(-needed // 64) * 64
+
+    def test_section_4d_sizing_formula(self, tiny_config):
+        """CHV ~= 1.25 x cache + 1.125 x metadata cache for SLM."""
+        layout = MemoryLayout(tiny_config)
+        assert layout.chv.size >= expected_chv_bytes(tiny_config) * 0.99
+
+    def test_mac_groups(self):
+        assert MAC_GROUP_SLM == 8
+        assert MAC_GROUP_DLM == 64
+
+
+class TestPositionalAddressing:
+    def test_data_slots_are_contiguous(self, chv):
+        assert chv.data_address(1) - chv.data_address(0) == 64
+        assert chv.data_address(0) == chv.region.base
+
+    def test_areas_do_not_overlap(self, chv):
+        last_data = chv.data_address(chv.capacity - 1)
+        first_addr_block = chv.address_block_address(0)
+        first_mac_block = chv.mac_block_address(0)
+        assert last_data < first_addr_block < first_mac_block
+
+    def test_address_block_covers_eight_positions(self, chv):
+        assert chv.address_block_address(0) == chv.address_block_address(0)
+        assert (chv.address_block_address(1)
+                - chv.address_block_address(0)) == 64
+
+    def test_everything_stays_inside_the_region(self, chv):
+        assert chv.region.contains(chv.data_address(chv.capacity - 1))
+        last_group = (chv.capacity - 1) // 8
+        assert chv.region.contains(chv.address_block_address(last_group))
+        assert chv.region.contains(chv.mac_block_address(last_group))
+
+    def test_out_of_capacity_raises(self, chv):
+        with pytest.raises(AddressError):
+            chv.data_address(chv.capacity)
+        with pytest.raises(AddressError):
+            chv.data_address(-1)
+
+
+class TestScaling:
+    def test_chv_grows_with_llc(self):
+        from repro.common.units import mib
+        small = ChvLayout.for_layout(
+            MemoryLayout(SystemConfig.scaled(64, llc_size=mib(8))))
+        large = ChvLayout.for_layout(
+            MemoryLayout(SystemConfig.scaled(64, llc_size=mib(32))))
+        assert large.capacity > small.capacity

@@ -1,0 +1,92 @@
+"""Energy model and battery sizing (Tables II & III)."""
+
+import pytest
+
+from repro.energy.battery import battery_volume_cm3, estimate_battery
+from repro.energy.model import EnergyBreakdown, EnergyModel
+from repro.epd.drain import DrainReport
+from repro.stats.counters import SimStats
+from repro.stats.events import ReadKind, WriteKind
+
+
+def _report(writes: int, reads: int, seconds: float) -> DrainReport:
+    stats = SimStats()
+    stats.record_write(WriteKind.DATA, writes)
+    stats.record_read(ReadKind.COUNTER, reads)
+    return DrainReport(scheme="test", flushed_blocks=writes,
+                       metadata_blocks=0, stats=stats,
+                       cycles=int(seconds * 4e9), seconds=seconds)
+
+
+class TestEnergyModel:
+    def test_paper_energy_constants(self):
+        model = EnergyModel()
+        assert model.write_energy_j == pytest.approx(531.8e-9)
+        assert model.read_energy_j == pytest.approx(5.5e-9)
+
+    def test_breakdown_arithmetic(self):
+        model = EnergyModel(processor_power_w=10.0, write_energy_j=1e-6,
+                            read_energy_j=1e-7)
+        breakdown = model.breakdown(_report(writes=1000, reads=500,
+                                            seconds=2.0))
+        assert breakdown.processor_j == pytest.approx(20.0)
+        assert breakdown.nvm_write_j == pytest.approx(1e-3)
+        assert breakdown.nvm_read_j == pytest.approx(5e-5)
+        assert breakdown.total_j == pytest.approx(20.0 + 1e-3 + 5e-5)
+
+    def test_rejects_negative_parameters(self):
+        with pytest.raises(ValueError):
+            EnergyModel(processor_power_w=-1)
+
+    def test_table2_base_lu_write_energy_reproduces(self):
+        """Paper Table II: 0.84 J of write energy implies ~1.58 M writes —
+        our full-scale Base-LU lands in that range (checked in benchmarks);
+        here we verify the arithmetic direction."""
+        model = EnergyModel()
+        joules = model.breakdown(_report(1_580_000, 0, 1.0)).nvm_write_j
+        assert joules == pytest.approx(0.84, abs=0.01)
+
+
+class TestBattery:
+    def test_volume_formula(self):
+        # 3600 J = 1 Wh; at 1e-4 Wh/cm^3 that is 10,000 cm^3.
+        assert battery_volume_cm3(3600.0, 1e-4) == pytest.approx(10000.0)
+
+    def test_rejects_non_positive_density(self):
+        with pytest.raises(ValueError):
+            battery_volume_cm3(1.0, 0.0)
+
+    def test_paper_table3_base_lu(self):
+        """11.07 J -> 30.7 cm^3 SuperCap / 0.31 cm^3 Li-thin (Table III)."""
+        breakdown = EnergyBreakdown("base-lu", 10.21, 0.84, 0.008)
+        estimate = estimate_battery(breakdown)
+        assert estimate.supercap_cm3 == pytest.approx(30.7, abs=0.1)
+        assert estimate.li_thin_cm3 == pytest.approx(0.31, abs=0.01)
+
+    def test_supercap_is_100x_li_thin(self):
+        estimate = estimate_battery(EnergyBreakdown("x", 1.0, 0.1, 0.01))
+        assert estimate.supercap_cm3 / estimate.li_thin_cm3 == \
+            pytest.approx(100.0)
+
+
+class TestEndToEndEnergy:
+    def test_drain_energy_ordering(self, tiny_config):
+        """Baselines must cost several times the Horus energy."""
+        from repro.core.system import SecureEpdSystem
+        model = EnergyModel()
+        totals = {}
+        for scheme in ("base-lu", "horus-slm"):
+            system = SecureEpdSystem(tiny_config, scheme=scheme)
+            system.fill_worst_case(seed=1)
+            totals[scheme] = model.breakdown(system.crash(seed=2)).total_j
+        assert totals["base-lu"] > 3 * totals["horus-slm"]
+
+    def test_processor_energy_tracks_drain_time(self, tiny_config):
+        from repro.core.system import SecureEpdSystem
+        model = EnergyModel()
+        system = SecureEpdSystem(tiny_config, scheme="horus-slm")
+        system.fill_worst_case(seed=1)
+        report = system.crash(seed=2)
+        breakdown = model.breakdown(report)
+        assert breakdown.processor_j == pytest.approx(
+            model.processor_power_w * report.seconds)

@@ -1,0 +1,70 @@
+"""BBB-style battery-backed buffer persistence."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.epd.bbb import BbbSecureSystem
+
+
+@pytest.fixture
+def bbb(tiny_config) -> BbbSecureSystem:
+    return BbbSecureSystem(tiny_config, bbuf_lines=8)
+
+
+def payload(tag: int) -> bytes:
+    return tag.to_bytes(8, "little") * 8
+
+
+class TestImplicitPersistence:
+    def test_every_write_is_persistent_without_flushes(self, bbb):
+        bbb.write(0, payload(1))
+        assert bbb.is_persisted(0)
+
+    def test_all_writes_survive_crash(self, bbb):
+        for i in range(40):                 # far more than the bbuf holds
+            bbb.write(i * 4096, payload(i))
+        bbb.crash()
+        for i in range(40):
+            assert bbb.read(i * 4096) == payload(i)
+
+    def test_rewrites_survive_crash(self, bbb):
+        bbb.write(0, payload(1))
+        for i in range(20):                 # push it through the buffer
+            bbb.write((i + 1) * 4096, payload(99))
+        bbb.write(0, payload(2))            # rewrite after write-through
+        bbb.crash()
+        assert bbb.read(0) == payload(2)
+
+    def test_crash_drains_at_most_the_buffer(self, bbb):
+        for i in range(40):
+            bbb.write(i * 4096, payload(i))
+        assert bbb.crash() <= 8
+
+
+class TestWriteThroughCost:
+    def test_hot_lines_avoid_writethrough(self, tiny_config):
+        bbb = BbbSecureSystem(tiny_config, bbuf_lines=8)
+        for _ in range(100):
+            bbb.write(0, payload(7))        # one hot line: stays buffered
+        assert bbb.bbuf_evictions == 0
+        assert bbb.writethrough_fraction == 0.0
+
+    def test_streaming_writes_pay_per_eviction(self, tiny_config):
+        bbb = BbbSecureSystem(tiny_config, bbuf_lines=8)
+        for i in range(100):
+            bbb.write(i * 4096, payload(i))
+        assert bbb.bbuf_evictions == 100 - 8
+        assert bbb.stats.total_memory_requests > 0
+
+    def test_buffer_size_trades_cost(self, tiny_config):
+        def evictions(lines):
+            bbb = BbbSecureSystem(tiny_config, bbuf_lines=lines)
+            for i in range(64):
+                bbb.write((i % 32) * 4096, payload(i))
+            return bbb.bbuf_evictions
+
+        assert evictions(4) > evictions(16) > evictions(32)
+
+    def test_rejects_empty_buffer(self, tiny_config):
+        with pytest.raises(ConfigError):
+            BbbSecureSystem(tiny_config, bbuf_lines=0)

@@ -1,0 +1,105 @@
+"""Drain engines: non-secure reference and the secure baselines."""
+
+import pytest
+
+from repro.core.system import SecureEpdSystem
+from repro.epd.power import EADR_MIN_HOLDUP_MS, holdup_budget
+from repro.stats.events import MacKind, ReadKind, WriteKind
+
+
+@pytest.fixture(scope="module")
+def reports(tiny_config):
+    out = {}
+    for scheme in ("nosec", "base-lu", "base-eu"):
+        system = SecureEpdSystem(tiny_config, scheme=scheme)
+        system.fill_worst_case(seed=1)
+        out[scheme] = system.crash(seed=2)
+    return out
+
+
+class TestNonSecureDrain:
+    def test_one_write_per_flushed_line(self, reports, tiny_config):
+        report = reports["nosec"]
+        assert report.flushed_blocks == tiny_config.total_cache_lines
+        assert report.total_writes == report.flushed_blocks
+        assert report.total_reads == 0
+        assert report.total_macs == 0
+
+    def test_all_writes_are_plain_data(self, reports):
+        stats = reports["nosec"].stats
+        assert stats.writes[WriteKind.DATA] == stats.total_writes
+
+    def test_drain_time_is_serialized_writes(self, reports, tiny_config):
+        report = reports["nosec"]
+        assert report.cycles == report.flushed_blocks * 2000
+
+    def test_crash_empties_the_hierarchy(self, tiny_config):
+        system = SecureEpdSystem(tiny_config, scheme="nosec")
+        system.fill_worst_case(seed=1)
+        system.crash(seed=2)
+        assert len(system.hierarchy) == 0
+
+
+class TestBaselineSecureDrain:
+    def test_flushes_every_line_in_place(self, reports, tiny_config):
+        for scheme in ("base-lu", "base-eu"):
+            report = reports[scheme]
+            assert report.flushed_blocks == tiny_config.total_cache_lines
+            assert report.stats.writes[WriteKind.DATA] == report.flushed_blocks
+
+    def test_secure_drain_explodes_memory_requests(self, reports):
+        """The paper's motivating observation (Fig. 6)."""
+        nosec = reports["nosec"].total_memory_requests
+        assert reports["base-lu"].total_memory_requests > 4 * nosec
+        assert reports["base-eu"].total_memory_requests > 4 * nosec
+
+    def test_lazy_needs_more_requests_than_eager(self, reports):
+        assert reports["base-lu"].total_memory_requests > \
+            reports["base-eu"].total_memory_requests
+
+    def test_eager_needs_more_macs_than_lazy(self, reports):
+        assert reports["base-eu"].total_macs > reports["base-lu"].total_macs
+
+    def test_metadata_fetches_dominate_reads(self, reports):
+        stats = reports["base-lu"].stats
+        metadata_reads = (stats.reads[ReadKind.COUNTER]
+                          + stats.reads[ReadKind.TREE_NODE]
+                          + stats.reads[ReadKind.MAC])
+        assert metadata_reads == stats.total_reads
+
+    def test_lazy_flushes_shadow_eager_flushes_home(self, reports):
+        assert reports["base-lu"].stats.writes[WriteKind.SHADOW] > 0
+        assert reports["base-eu"].stats.writes[WriteKind.SHADOW] == 0
+        assert reports["base-eu"].stats.macs[MacKind.CACHE_TREE] == 0
+
+    def test_every_flushed_ciphertext_lands_in_memory(self, tiny_config):
+        system = SecureEpdSystem(tiny_config, scheme="base-lu")
+        system.fill_worst_case(seed=1)
+        addresses = [line.address for line in system.hierarchy.llc.lines()]
+        system.crash(seed=2)
+        for address in addresses:
+            assert system.nvm.backend.is_written(address)
+
+
+class TestDrainReportAndHoldup:
+    def test_report_seconds_match_cycles(self, reports, tiny_config):
+        report = reports["base-lu"]
+        assert report.seconds == pytest.approx(
+            report.cycles / tiny_config.frequency_hz)
+
+    def test_holdup_budget_normalization(self, reports):
+        budget = holdup_budget(reports["base-lu"], reports["nosec"])
+        assert budget.relative_to_nosec == pytest.approx(
+            reports["base-lu"].seconds / reports["nosec"].seconds)
+        assert budget.memory_operations == \
+            reports["base-lu"].total_memory_requests
+
+    def test_holdup_without_reference(self, reports):
+        budget = holdup_budget(reports["nosec"])
+        assert budget.relative_to_nosec is None
+        assert budget.scheme == "nosec"
+
+    def test_eadr_minimum_flag(self, reports):
+        budget = holdup_budget(reports["nosec"])
+        assert budget.meets_eadr_minimum == \
+            (budget.holdup_ms <= EADR_MIN_HOLDUP_MS)

@@ -1,0 +1,72 @@
+"""Episode isolation: reports must reflect exactly their own episode.
+
+The whole accounting design rests on diffing one shared SimStats around
+each episode; these tests pin that isolation across mixed run-time, drain,
+and recovery activity on one system.
+"""
+
+
+from repro.core.analytic import horus_drain_cost
+from repro.core.system import SecureEpdSystem
+
+
+class TestEpisodeIsolation:
+    def test_runtime_traffic_does_not_leak_into_the_drain_report(
+            self, tiny_config):
+        """Two systems, one with heavy pre-crash run-time traffic: their
+        drain reports over identical hierarchies must match exactly."""
+        quiet = SecureEpdSystem(tiny_config, scheme="horus-slm")
+        busy = SecureEpdSystem(tiny_config, scheme="horus-slm")
+        for i in range(300):
+            busy.write((i % 50) * 4096, i.to_bytes(2, "little") * 32)
+            busy.read((i % 50) * 4096)
+
+        quiet.fill_worst_case(seed=1)
+        busy.fill_worst_case(seed=1)
+        quiet_report = quiet.crash(seed=2)
+        busy_report = busy.crash(seed=2)
+
+        # The busy system vaults its warmed metadata-cache lines too, so
+        # compare the per-hierarchy-line component via the closed form.
+        for report in (quiet_report, busy_report):
+            blocks = report.flushed_blocks + report.metadata_blocks
+            cost = horus_drain_cost(blocks, double_level_mac=False)
+            assert report.total_writes == cost.total_writes
+            assert report.total_reads == 0
+
+    def test_back_to_back_drains_have_independent_reports(self, tiny_config):
+        system = SecureEpdSystem(tiny_config, scheme="horus-dlm")
+        system.fill_worst_case(seed=1)
+        first = system.crash(seed=2)
+        system.recover()
+        system.fill_worst_case(seed=3)
+        second = system.crash(seed=4)
+        # Same worst case, independent episodes: identical counts, and the
+        # second report does not include the first episode or the recovery.
+        assert second.flushed_blocks == first.flushed_blocks
+        assert second.stats.total_memory_requests >= \
+            first.stats.total_memory_requests
+        # (>= because the second episode also vaults the metadata-cache
+        # lines the recovery restored.)
+
+    def test_recovery_report_excludes_the_drain(self, tiny_config):
+        system = SecureEpdSystem(tiny_config, scheme="horus-slm")
+        system.fill_worst_case(seed=1)
+        drain = system.crash(seed=2)
+        recovery = system.recover()
+        assert recovery.stats.total_writes == 0      # recovery only reads
+        assert drain.stats.total_reads == 0          # drain only writes
+        assert recovery.stats.reads.keys().isdisjoint(drain.stats.writes)
+
+    def test_system_totals_are_the_sum_of_episodes(self, tiny_config):
+        system = SecureEpdSystem(tiny_config, scheme="horus-slm")
+        baseline = system.stats.copy()
+        system.fill_worst_case(seed=1)
+        drain = system.crash(seed=2)
+        recovery = system.recover()
+        delta = system.stats.diff(baseline)
+        assert delta.total_memory_requests == \
+            (drain.stats.total_memory_requests
+             + recovery.stats.total_memory_requests)
+        assert delta.total_macs == \
+            drain.stats.total_macs + recovery.stats.total_macs

@@ -1,0 +1,85 @@
+"""Result serialization (JSON / Markdown) and the module CLI."""
+
+import json
+
+import pytest
+
+from repro.experiments.export import (
+    result_to_dict,
+    to_json,
+    to_markdown,
+    write_results,
+)
+from repro.experiments.result import ExperimentResult, ShapeCheck
+
+
+@pytest.fixture
+def sample_result() -> ExperimentResult:
+    return ExperimentResult(
+        experiment_id="figX",
+        title="Sample",
+        headers=["scheme", "count", "ratio"],
+        rows=[["horus", 123456, 1.25], ["base", 999999, 10.133]],
+        paper_expectation="horus wins",
+        checks=[ShapeCheck("horus wins", True, "8.1x"),
+                ShapeCheck("something else", False, "0.5x")],
+    )
+
+
+class TestJsonExport:
+    def test_dict_shape(self, sample_result):
+        d = result_to_dict(sample_result)
+        assert d["experiment_id"] == "figX"
+        assert d["rows"][0] == ["horus", 123456, 1.25]
+        assert d["checks"][0]["passed"] is True
+        assert d["all_checks_pass"] is False
+
+    def test_json_document_is_valid_and_counts_checks(self, sample_result):
+        document = json.loads(to_json([sample_result], scale=16))
+        assert document["scale"] == 16
+        assert document["total_checks"] == 2
+        assert document["passed_checks"] == 1
+        assert len(document["experiments"]) == 1
+
+    def test_non_primitive_cells_stringify(self):
+        result = ExperimentResult("id", "t", ["a"], [[object()]], "p")
+        document = json.loads(to_json([result], scale=1))
+        assert isinstance(document["experiments"][0]["rows"][0][0], str)
+
+
+class TestMarkdownExport:
+    def test_contains_table_and_checkboxes(self, sample_result):
+        text = to_markdown([sample_result], scale=16)
+        assert "## figX: Sample" in text
+        assert "| scheme | count | ratio |" in text
+        assert "| horus | 123,456 | 1.250 |" in text
+        assert "- [x] horus wins" in text
+        assert "- [ ] something else" in text
+
+
+class TestWriteResults:
+    def test_writes_both_files(self, sample_result, tmp_path):
+        paths = write_results([sample_result], str(tmp_path), scale=8)
+        assert {p.name for p in paths} == {"results.json", "results.md"}
+        for path in paths:
+            assert path.exists() and path.stat().st_size > 0
+
+    def test_runner_output_flag(self, tmp_path):
+        from repro.experiments.runner import main
+        code = main(["fig16", "--scale", "128",
+                     "--output", str(tmp_path)])
+        assert code == 0
+        document = json.loads((tmp_path / "results.json").read_text())
+        assert document["experiments"][0]["experiment_id"] == "fig16"
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_repro(self, tmp_path):
+        import subprocess
+        import sys
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "fig16", "--scale", "128"],
+            capture_output=True, text=True, timeout=120)
+        assert proc.returncode == 0
+        assert "fig16" in proc.stdout
+        assert "[PASS]" in proc.stdout

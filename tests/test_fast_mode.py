@@ -1,0 +1,55 @@
+"""Counting-only (non-functional) mode must count exactly like the real
+thing — it skips crypto values, never operations."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.common.config import SystemConfig
+from repro.core.system import SCHEMES, SecureEpdSystem
+
+
+def _fast(config: SystemConfig) -> SystemConfig:
+    return replace(config,
+                   security=replace(config.security, functional=False))
+
+
+class TestCountingOnlyMode:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_drain_counts_match_functional_mode(self, tiny_config, scheme):
+        """The paper-relevant quantities are operation counts; disabling
+        real crypto must not change a single one of them."""
+        reports = {}
+        for functional in (True, False):
+            config = tiny_config if functional else _fast(tiny_config)
+            system = SecureEpdSystem(config, scheme=scheme)
+            system.fill_worst_case(seed=1)
+            reports[functional] = system.crash(seed=2)
+        real, fast = reports[True], reports[False]
+        assert fast.stats.reads == real.stats.reads
+        assert fast.stats.writes == real.stats.writes
+        assert fast.stats.macs == real.stats.macs
+        assert fast.stats.aes == real.stats.aes
+        assert fast.cycles == real.cycles
+
+    def test_fast_mode_skips_verification(self, tiny_config):
+        from repro.attacks.adversary import Adversary
+        system = SecureEpdSystem(_fast(tiny_config), scheme="base-eu")
+        system.controller.write(0, None)
+        system.controller.flush_metadata()
+        system.controller.drop_volatile_state()
+        Adversary(system.nvm).tamper(0)
+        system.controller.read(0)   # counting-only: no IntegrityError
+
+    def test_runner_fast_flag(self):
+        from repro.experiments.runner import run_experiments
+        results = run_experiments(["fig16"], scale=256, functional=False)
+        assert results[0].all_checks_pass
+
+    def test_fast_suite_produces_same_shape(self):
+        from repro.experiments.fig06_motivation import run
+        from repro.experiments.suite import DrainSuite
+        real = run(DrainSuite(scale=256, functional=True))
+        fast = run(DrainSuite(scale=256, functional=False))
+        assert [row[-1] for row in real.rows] == \
+            [row[-1] for row in fast.rows]

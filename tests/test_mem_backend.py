@@ -1,0 +1,70 @@
+"""Sparse backing store."""
+
+import pytest
+
+from repro.common.errors import AddressError, AlignmentError
+from repro.mem.backend import SparseMemory
+
+
+@pytest.fixture
+def memory() -> SparseMemory:
+    return SparseMemory(1 << 20)
+
+
+class TestReadWrite:
+    def test_unwritten_reads_as_zeros(self, memory):
+        assert memory.read_block(0) == bytes(64)
+        assert memory.read_block(64 * 100) == bytes(64)
+
+    def test_roundtrip(self, memory):
+        payload = bytes(range(64))
+        memory.write_block(128, payload)
+        assert memory.read_block(128) == payload
+
+    def test_overwrite(self, memory):
+        memory.write_block(0, b"\x01" * 64)
+        memory.write_block(0, b"\x02" * 64)
+        assert memory.read_block(0) == b"\x02" * 64
+
+    def test_is_written_tracks_explicit_writes(self, memory):
+        assert not memory.is_written(64)
+        memory.write_block(64, bytes(64))
+        assert memory.is_written(64)
+
+    def test_touched_blocks(self, memory):
+        memory.write_block(0, bytes(64))
+        memory.write_block(64, bytes(64))
+        memory.write_block(0, bytes(64))  # overwrite, not a new block
+        assert memory.touched_blocks == 2
+
+
+class TestValidation:
+    def test_rejects_unaligned_address(self, memory):
+        with pytest.raises(AlignmentError):
+            memory.read_block(1)
+
+    def test_rejects_out_of_range(self, memory):
+        with pytest.raises(AddressError):
+            memory.read_block(1 << 20)
+
+    def test_rejects_short_payload(self, memory):
+        with pytest.raises(AddressError):
+            memory.write_block(0, b"short")
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(AddressError):
+            SparseMemory(100)
+        with pytest.raises(AddressError):
+            SparseMemory(0)
+
+
+class TestAdversarialAndClear:
+    def test_corrupt_block_bypasses_nothing_functionally(self, memory):
+        memory.corrupt_block(0, b"\xff" * 64)
+        assert memory.read_block(0) == b"\xff" * 64
+
+    def test_clear_resets_to_zeros(self, memory):
+        memory.write_block(0, b"\xaa" * 64)
+        memory.clear()
+        assert memory.read_block(0) == bytes(64)
+        assert memory.touched_blocks == 0

@@ -1,0 +1,116 @@
+"""Banked-memory queueing model."""
+
+import pytest
+
+from repro.common.config import SystemConfig
+from repro.common.errors import ConfigError
+from repro.mem.banking import (
+    BankGeometry,
+    MakespanResult,
+    parallel_speedup,
+    replay_makespan,
+)
+
+CONFIG = SystemConfig.scaled(512)
+
+
+def writes(addresses):
+    return [(a, True) for a in addresses]
+
+
+class TestBankGeometry:
+    def test_block_interleaving(self):
+        geometry = BankGeometry(channels=1, banks_per_channel=4)
+        assert [geometry.bank_of(i * 64) for i in range(5)] == [0, 1, 2, 3, 0]
+
+    def test_total_banks(self):
+        assert BankGeometry(channels=4, banks_per_channel=8).total_banks == 32
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            BankGeometry(channels=0)
+        with pytest.raises(ConfigError):
+            BankGeometry(command_slot_ns=-1)
+
+
+class TestMakespan:
+    def test_single_bank_serializes(self):
+        geometry = BankGeometry(channels=1, banks_per_channel=1,
+                                command_slot_ns=0)
+        result = replay_makespan(writes([0, 0, 0]), CONFIG, geometry)
+        assert result.makespan_ns == pytest.approx(3 * 500)
+
+    def test_perfect_interleave_parallelizes(self):
+        geometry = BankGeometry(channels=1, banks_per_channel=4,
+                                command_slot_ns=0)
+        trace = writes([i * 64 for i in range(4)])
+        result = replay_makespan(trace, CONFIG, geometry)
+        assert result.makespan_ns == pytest.approx(500)
+
+    def test_reads_and_writes_use_their_latencies(self):
+        geometry = BankGeometry(1, 1, command_slot_ns=0)
+        result = replay_makespan([(0, False), (0, True)], CONFIG, geometry)
+        assert result.makespan_ns == pytest.approx(150 + 500)
+
+    def test_command_bus_bounds_issue_rate(self):
+        geometry = BankGeometry(channels=8, banks_per_channel=8,
+                                command_slot_ns=100.0)
+        trace = writes([i * 64 for i in range(64)])
+        result = replay_makespan(trace, CONFIG, geometry)
+        # 64 issues x 100 ns dominates once banks are plentiful.
+        assert result.makespan_ns >= 63 * 100.0
+
+    def test_bank_conflicts_create_skew(self):
+        geometry = BankGeometry(1, 4, command_slot_ns=0)
+        conflicting = writes([0] * 8)           # all bank 0
+        spread = writes([i * 64 for i in range(8)])
+        skewed = replay_makespan(conflicting, CONFIG, geometry)
+        balanced = replay_makespan(spread, CONFIG, geometry)
+        assert skewed.makespan_ns > balanced.makespan_ns
+        assert skewed.busiest_bank_requests == 8
+        assert balanced.busiest_bank_requests == 2
+
+    def test_empty_trace(self):
+        result = replay_makespan([], CONFIG, BankGeometry())
+        assert result == MakespanResult(0, 0.0, 0)
+
+
+class TestSpeedup:
+    def test_speedup_bounded_by_bank_count(self):
+        geometry = BankGeometry(1, 8, command_slot_ns=0)
+        trace = writes([i * 64 for i in range(256)])
+        speedup = parallel_speedup(trace, CONFIG, geometry)
+        assert 7.9 <= speedup <= 8.0
+
+    def test_single_bank_speedup_is_one(self):
+        geometry = BankGeometry(1, 1, command_slot_ns=0)
+        trace = writes([i * 64 for i in range(16)])
+        assert parallel_speedup(trace, CONFIG, geometry) == pytest.approx(1.0)
+
+    def test_empty_trace_speedup(self):
+        assert parallel_speedup([], CONFIG, BankGeometry()) == 1.0
+
+
+class TestTraceCapture:
+    def test_nvm_trace_capture(self):
+        from repro.mem.nvm import NvmDevice
+        from repro.stats.events import ReadKind, WriteKind
+        nvm = NvmDevice(1 << 16)
+        nvm.trace = []
+        nvm.write(0, bytes(64), WriteKind.DATA)
+        nvm.read(64, ReadKind.COUNTER)
+        assert nvm.trace == [(0, True), (64, False)]
+
+    def test_trace_off_by_default(self):
+        from repro.mem.nvm import NvmDevice
+        from repro.stats.events import WriteKind
+        nvm = NvmDevice(1 << 16)
+        nvm.write(0, bytes(64), WriteKind.DATA)
+        assert nvm.trace is None
+
+    def test_parallelism_ablation_passes(self):
+        from repro.experiments.parallelism import run
+        from repro.experiments.suite import DrainSuite
+        result = run(DrainSuite(scale=256))
+        assert result.all_checks_pass, [c for c in result.checks
+                                        if not c.passed]

@@ -1,0 +1,54 @@
+"""Timed, accounted NVM device."""
+
+import pytest
+
+from repro.common.errors import AddressError
+from repro.mem.nvm import NvmDevice
+from repro.stats.events import ReadKind, WriteKind
+
+
+@pytest.fixture
+def device() -> NvmDevice:
+    return NvmDevice(1 << 20)
+
+
+class TestAccounting:
+    def test_read_is_accounted_by_kind(self, device):
+        device.read(0, ReadKind.COUNTER)
+        device.read(0, ReadKind.COUNTER)
+        device.read(64, ReadKind.TREE_NODE)
+        assert device.stats.reads[ReadKind.COUNTER] == 2
+        assert device.stats.reads[ReadKind.TREE_NODE] == 1
+
+    def test_write_is_accounted_by_kind(self, device):
+        device.write(0, bytes(64), WriteKind.CHV_DATA)
+        assert device.stats.writes[WriteKind.CHV_DATA] == 1
+
+    def test_peek_and_poke_are_not_accounted(self, device):
+        device.poke(0, b"\x42" * 64)
+        assert device.peek(0) == b"\x42" * 64
+        assert device.stats.total_memory_requests == 0
+
+    def test_kind_is_mandatory_and_typed(self, device):
+        with pytest.raises(AddressError):
+            device.read(0, "counter")
+        with pytest.raises(AddressError):
+            device.write(0, bytes(64), "data")
+
+
+class TestDataPath:
+    def test_write_then_read_roundtrip(self, device):
+        payload = bytes(range(64))
+        device.write(4096, payload, WriteKind.DATA)
+        assert device.read(4096, ReadKind.DATA) == payload
+
+    def test_unwritten_reads_zeros_but_counts(self, device):
+        assert device.read(0, ReadKind.DATA) == bytes(64)
+        assert device.stats.total_reads == 1
+
+    def test_shared_stats_object(self):
+        from repro.stats.counters import SimStats
+        stats = SimStats()
+        device = NvmDevice(1 << 16, stats)
+        device.write(0, bytes(64), WriteKind.DATA)
+        assert stats.total_writes == 1

@@ -1,0 +1,102 @@
+"""FR-FCFS memory-controller scheduling model."""
+
+import pytest
+
+from repro.common.config import SystemConfig
+from repro.common.errors import ConfigError
+from repro.mem.banking import BankGeometry
+from repro.mem.scheduler import ScheduleResult, schedule_trace, scheduling_gain
+
+CONFIG = SystemConfig.scaled(512)
+GEOMETRY = BankGeometry(channels=1, banks_per_channel=4, command_slot_ns=0)
+
+
+def writes(addresses):
+    return [(a, True) for a in addresses]
+
+
+class TestPolicies:
+    def test_fcfs_never_reorders(self):
+        trace = writes([0, 0, 64, 64, 128])
+        result = schedule_trace(trace, CONFIG, GEOMETRY, "fcfs")
+        assert result.reordered == 0
+
+    def test_frfcfs_hides_bank_conflicts(self):
+        # Two conflicting streams interleaved badly: A A B B -> A B A B.
+        trace = writes([0, 0, 64, 64])
+        fcfs = schedule_trace(trace, CONFIG, GEOMETRY, "fcfs")
+        frfcfs = schedule_trace(trace, CONFIG, GEOMETRY, "frfcfs")
+        assert frfcfs.makespan_ns < fcfs.makespan_ns
+        assert frfcfs.reordered > 0
+
+    def test_conflict_free_trace_gains_nothing(self):
+        trace = writes([i * 64 for i in range(16)])
+        assert scheduling_gain(trace, CONFIG, GEOMETRY) == pytest.approx(1.0)
+
+    def test_identical_results_for_single_bank(self):
+        geometry = BankGeometry(1, 1, command_slot_ns=0)
+        trace = writes([0, 64, 128])
+        fcfs = schedule_trace(trace, CONFIG, geometry, "fcfs")
+        frfcfs = schedule_trace(trace, CONFIG, geometry, "frfcfs")
+        assert fcfs.makespan_ns == frfcfs.makespan_ns
+
+    def test_makespan_matches_hand_computation(self):
+        # Bank 0 twice, then bank 1 once; FCFS: 500+500 serial on bank 0,
+        # bank 1 overlaps -> makespan 1000.
+        result = schedule_trace(writes([0, 0, 64]), CONFIG, GEOMETRY, "fcfs")
+        assert result.makespan_ns == pytest.approx(1000.0)
+
+    def test_window_bounds_lookahead(self):
+        # The conflicting pair is beyond a window of 1: no reordering there.
+        trace = writes([0, 0, 64])
+        narrow = schedule_trace(trace, CONFIG, GEOMETRY, "frfcfs", window=1)
+        wide = schedule_trace(trace, CONFIG, GEOMETRY, "frfcfs", window=8)
+        assert narrow.reordered == 0
+        assert wide.makespan_ns <= narrow.makespan_ns
+
+    def test_empty_trace(self):
+        result = schedule_trace([], CONFIG, GEOMETRY)
+        assert result == ScheduleResult("frfcfs", 0, 0.0, 0)
+        assert scheduling_gain([], CONFIG, GEOMETRY) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            schedule_trace([], CONFIG, GEOMETRY, "lifo")
+        with pytest.raises(ConfigError):
+            schedule_trace([], CONFIG, GEOMETRY, window=0)
+
+
+class TestOnDrainTraces:
+    @pytest.fixture(scope="class")
+    def traces(self):
+        from repro.core.system import SecureEpdSystem
+        out = {}
+        for scheme in ("base-lu", "horus-slm"):
+            system = SecureEpdSystem(CONFIG, scheme=scheme)
+            system.nvm.trace = []
+            system.fill_worst_case(seed=1)
+            system.crash(seed=2)
+            out[scheme] = (system.config, system.nvm.trace)
+        return out
+
+    def test_scheduling_does_not_close_the_scheme_gap(self, traces):
+        """Both schemes gain from FR-FCFS (Horus's periodic coalesced
+        address/MAC writes collide with its data stream under FCFS, so it
+        gains too — a measured result), but the baseline's drain stays
+        several times longer even with an ideal reordering window."""
+        geometry = BankGeometry(1, 8, command_slot_ns=2.5)
+        makespans = {
+            scheme: schedule_trace(trace, config, geometry,
+                                   "frfcfs").makespan_ns
+            for scheme, (config, trace) in traces.items()
+        }
+        assert makespans["base-lu"] > 3 * makespans["horus-slm"]
+        gains = {scheme: scheduling_gain(trace, config, geometry)
+                 for scheme, (config, trace) in traces.items()}
+        for gain in gains.values():
+            assert 1.0 <= gain <= geometry.total_banks
+
+    def test_frfcfs_never_slower_than_fcfs(self, traces):
+        geometry = BankGeometry(1, 8, command_slot_ns=2.5)
+        for scheme, (config, trace) in traces.items():
+            assert scheduling_gain(trace, config, geometry) >= 0.999

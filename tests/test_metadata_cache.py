@@ -1,0 +1,72 @@
+"""Metadata caches (counter / MAC / tree-node caches)."""
+
+import pytest
+
+from repro.common.config import CacheConfig
+from repro.metadata.cache import MetadataCache, MetaLine
+
+
+@pytest.fixture
+def cache() -> MetadataCache:
+    # 4 sets x 2 ways.
+    return MetadataCache(CacheConfig("meta", 512, 2, 1))
+
+
+def _addr(set_index: int, tag: int) -> int:
+    return (tag * 4 + set_index) * 64
+
+
+class TestBasicOperations:
+    def test_miss_then_hit(self, cache):
+        assert cache.lookup(0) is None
+        cache.insert(MetaLine(0, "value"))
+        assert cache.lookup(0).value == "value"
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_holds_arbitrary_objects(self, cache):
+        payload = bytearray(64)
+        cache.insert(MetaLine(0, payload))
+        assert cache.lookup(0).value is payload
+
+    def test_lru_eviction_returns_victim(self, cache):
+        cache.insert(MetaLine(_addr(0, 0), "a"))
+        cache.insert(MetaLine(_addr(0, 1), "b"))
+        victim = cache.insert(MetaLine(_addr(0, 2), "c"))
+        assert victim.value == "a"
+
+    def test_reinsert_same_address_replaces(self, cache):
+        cache.insert(MetaLine(0, "a"))
+        assert cache.insert(MetaLine(0, "b")) is None
+        assert cache.lookup(0).value == "b"
+        assert len(cache) == 1
+
+    def test_lookup_refreshes_lru(self, cache):
+        cache.insert(MetaLine(_addr(0, 0), "a"))
+        cache.insert(MetaLine(_addr(0, 1), "b"))
+        cache.lookup(_addr(0, 0))
+        victim = cache.insert(MetaLine(_addr(0, 2), "c"))
+        assert victim.value == "b"
+
+    def test_invalidate(self, cache):
+        cache.insert(MetaLine(0, "x"))
+        assert cache.invalidate(0).value == "x"
+        assert cache.invalidate(0) is None
+        assert not cache.contains(0)
+
+
+class TestDirtyTracking:
+    def test_dirty_lines(self, cache):
+        cache.insert(MetaLine(_addr(0, 0), "a", dirty=True))
+        cache.insert(MetaLine(_addr(1, 0), "b", dirty=False))
+        assert [line.value for line in cache.dirty_lines()] == ["a"]
+
+    def test_mutating_resident_line_state(self, cache):
+        cache.insert(MetaLine(0, "a"))
+        cache.lookup(0).dirty = True
+        assert list(cache.dirty_lines())[0].address == 0
+
+    def test_clear(self, cache):
+        cache.insert(MetaLine(0, "a"))
+        cache.clear()
+        assert len(cache) == 0
+        assert list(cache.lines()) == []

@@ -1,0 +1,95 @@
+"""Generic in-memory Merkle tree."""
+
+import pytest
+
+from repro.common.errors import ConfigError, IntegrityError
+from repro.metadata.merkle import InMemoryMerkleTree
+
+
+def _leaves(n: int) -> list[bytes]:
+    return [i.to_bytes(8, "little") * 8 for i in range(n)]
+
+
+class TestConstruction:
+    def test_single_leaf(self):
+        tree = InMemoryMerkleTree(_leaves(1))
+        assert tree.num_levels == 1
+        assert len(tree.root) == 8
+
+    def test_level_structure_8ary(self):
+        tree = InMemoryMerkleTree(_leaves(64))
+        # 64 leaf hashes -> 8 -> 1
+        assert tree.num_levels == 3
+        assert tree.num_hashes == 64 + 8 + 1
+
+    def test_partial_levels_round_up(self):
+        tree = InMemoryMerkleTree(_leaves(9))
+        # 9 leaf hashes -> 2 group hashes -> 1 root
+        assert tree.num_levels == 3
+        assert tree.num_hashes == 9 + 2 + 1
+
+    def test_arity_changes_shape(self):
+        binary = InMemoryMerkleTree(_leaves(8), arity=2)
+        assert binary.num_levels == 4  # 8 -> 4 -> 2 -> 1
+
+    def test_rejects_empty_and_bad_arity(self):
+        with pytest.raises(ConfigError):
+            InMemoryMerkleTree([])
+        with pytest.raises(ConfigError):
+            InMemoryMerkleTree(_leaves(2), arity=1)
+
+
+class TestRootProperties:
+    def test_deterministic(self):
+        assert InMemoryMerkleTree(_leaves(20)).root == \
+            InMemoryMerkleTree(_leaves(20)).root
+
+    def test_any_leaf_change_changes_root(self):
+        base = InMemoryMerkleTree(_leaves(20)).root
+        for index in (0, 10, 19):
+            leaves = _leaves(20)
+            leaves[index] = b"\xff" * 64
+            assert InMemoryMerkleTree(leaves).root != base
+
+    def test_leaf_order_matters(self):
+        leaves = _leaves(16)
+        swapped = list(leaves)
+        swapped[0], swapped[1] = swapped[1], swapped[0]
+        assert InMemoryMerkleTree(leaves).root != \
+            InMemoryMerkleTree(swapped).root
+
+    def test_key_separation(self):
+        assert InMemoryMerkleTree(_leaves(4), key=b"k1").root != \
+            InMemoryMerkleTree(_leaves(4), key=b"k2").root
+
+
+class TestUpdates:
+    def test_update_leaf_matches_rebuild(self):
+        tree = InMemoryMerkleTree(_leaves(30))
+        tree.update_leaf(7, b"\xab" * 64)
+        leaves = _leaves(30)
+        leaves[7] = b"\xab" * 64
+        assert tree.root == InMemoryMerkleTree(leaves).root
+
+    def test_update_out_of_range(self):
+        tree = InMemoryMerkleTree(_leaves(4))
+        with pytest.raises(ConfigError):
+            tree.update_leaf(4, bytes(64))
+
+
+class TestVerification:
+    def test_verify_all_passes_on_intact_tree(self):
+        InMemoryMerkleTree(_leaves(25)).verify_all()
+
+    def test_verify_all_detects_leaf_tamper(self):
+        tree = InMemoryMerkleTree(_leaves(25))
+        tree._leaves[3] = b"\x00" * 64  # simulate out-of-band corruption
+        with pytest.raises(IntegrityError):
+            tree.verify_all()
+
+    def test_verify_against(self):
+        tree = InMemoryMerkleTree(_leaves(12))
+        assert tree.verify_against(_leaves(12))
+        tampered = _leaves(12)
+        tampered[0] = b"\x01" * 64
+        assert not tree.verify_against(tampered)

@@ -1,0 +1,179 @@
+"""Persistent heap, undo log, and failure-atomic transactions."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.core.system import SecureEpdSystem
+from repro.pmlib.heap import PersistentHeap
+from repro.pmlib.log import TxState, UndoLog
+from repro.pmlib.transaction import TransactionManager
+
+HEAP_BASE = 0
+HEAP_BLOCKS = 128
+LOG_BASE = 1 << 20
+
+
+@pytest.fixture
+def system(tiny_config) -> SecureEpdSystem:
+    return SecureEpdSystem(tiny_config, scheme="horus-dlm")
+
+
+@pytest.fixture
+def heap(system) -> PersistentHeap:
+    return PersistentHeap(system, HEAP_BASE, HEAP_BLOCKS)
+
+
+@pytest.fixture
+def tx(system) -> TransactionManager:
+    return TransactionManager(system, LOG_BASE)
+
+
+class TestPersistentHeap:
+    def test_alloc_returns_distinct_line_addresses(self, heap):
+        addresses = [heap.alloc() for _ in range(10)]
+        assert len(set(addresses)) == 10
+        assert all(a % 64 == 0 and a >= heap.data_base for a in addresses)
+
+    def test_free_makes_block_reusable(self, heap):
+        first = heap.alloc()
+        heap.free(first)
+        assert heap.alloc() == first
+
+    def test_double_free_rejected(self, heap):
+        address = heap.alloc()
+        heap.free(address)
+        with pytest.raises(ConfigError):
+            heap.free(address)
+
+    def test_exhaustion(self, system):
+        heap = PersistentHeap(system, 0, 8)   # 1 bitmap + 7 data blocks
+        for _ in range(heap.capacity):
+            heap.alloc()
+        with pytest.raises(MemoryError):
+            heap.alloc()
+
+    def test_allocated_count(self, heap):
+        for _ in range(5):
+            heap.alloc()
+        assert heap.allocated_count() == 5
+
+    def test_heap_state_survives_crash(self, system, heap):
+        kept = [heap.alloc() for _ in range(4)]
+        heap.free(kept.pop())
+        system.crash(seed=2)
+        system.recover()
+        fresh = PersistentHeap(system, HEAP_BASE, HEAP_BLOCKS)
+        assert fresh.allocated_count() == 3
+        for address in kept:
+            assert fresh.is_allocated(address)
+
+    def test_validation(self, system):
+        with pytest.raises(ConfigError):
+            PersistentHeap(system, 1, 64)      # unaligned
+        with pytest.raises(ConfigError):
+            PersistentHeap(system, 0, 1)       # no room
+
+
+class TestUndoLog:
+    def test_fresh_log_reads_idle(self, system):
+        log = UndoLog(system, LOG_BASE)
+        assert log.read_header() == (TxState.IDLE, 0)
+
+    def test_append_and_read_entries(self, system):
+        log = UndoLog(system, LOG_BASE)
+        log.begin()
+        log.append(0, 4096, b"\x11" * 64)
+        log.append(1, 8192, b"\x22" * 64)
+        assert log.read_header() == (TxState.ACTIVE, 2)
+        assert log.read_entry(0) == (4096, b"\x11" * 64)
+        assert log.read_entry(1) == (8192, b"\x22" * 64)
+
+    def test_abort_restores_in_reverse(self, system):
+        log = UndoLog(system, LOG_BASE)
+        system.write(4096, b"old-".ljust(64, b"\0"))
+        log.begin()
+        log.append(0, 4096, system.read(4096))
+        system.write(4096, b"new-".ljust(64, b"\0"))
+        log.abort()
+        assert system.read(4096).startswith(b"old-")
+        assert log.read_header()[0] is TxState.IDLE
+
+    def test_capacity_enforced(self, system):
+        log = UndoLog(system, LOG_BASE, capacity=1)
+        log.begin()
+        log.append(0, 0, bytes(64))
+        with pytest.raises(ConfigError):
+            log.append(1, 64, bytes(64))
+
+    def test_double_begin_rejected(self, system):
+        log = UndoLog(system, LOG_BASE)
+        log.begin()
+        with pytest.raises(ConfigError):
+            log.begin()
+
+
+class TestTransactions:
+    def test_commit_applies_all_writes(self, system, tx):
+        with tx.transaction() as t:
+            t.write(0, b"\x0a" * 64)
+            t.write(4096, b"\x0b" * 64)
+        assert system.read(0) == b"\x0a" * 64
+        assert system.read(4096) == b"\x0b" * 64
+        assert not tx.in_flight
+
+    def test_exception_rolls_back_everything(self, system, tx):
+        system.write(0, b"\x01" * 64)
+        with pytest.raises(RuntimeError):
+            with tx.transaction() as t:
+                t.write(0, b"\x02" * 64)
+                t.write(4096, b"\x03" * 64)
+                raise RuntimeError("app bug")
+        assert system.read(0) == b"\x01" * 64
+        assert system.read(4096) == bytes(64)
+
+    def test_pre_image_logged_once_per_block(self, system, tx):
+        system.write(0, b"\x01" * 64)
+        with pytest.raises(RuntimeError):
+            with tx.transaction() as t:
+                t.write(0, b"\x02" * 64)
+                t.write(0, b"\x03" * 64)   # same block again
+                raise RuntimeError
+        assert system.read(0) == b"\x01" * 64
+
+    def test_crash_mid_transaction_is_atomic(self, system, tx):
+        """The headline property: crash between the two halves of a
+        transfer, recover, and observe neither half."""
+        system.write(0, (100).to_bytes(8, "little").ljust(64, b"\0"))
+        system.write(4096, (50).to_bytes(8, "little").ljust(64, b"\0"))
+
+        tx.log.begin()
+        from repro.pmlib.transaction import Transaction
+        t = Transaction(system, tx.log)
+        t.write(0, (70).to_bytes(8, "little").ljust(64, b"\0"))
+        # --- power fails before the matching credit ---
+        system.crash(seed=2)
+        system.recover()
+        rolled_back = tx.recover()
+
+        assert rolled_back == 1
+        assert int.from_bytes(system.read(0)[:8], "little") == 100
+        assert int.from_bytes(system.read(4096)[:8], "little") == 50
+
+    def test_crash_after_commit_preserves_writes(self, system, tx):
+        with tx.transaction() as t:
+            t.write(0, b"\x42" * 64)
+        system.crash(seed=2)
+        system.recover()
+        assert tx.recover() == 0
+        assert system.read(0) == b"\x42" * 64
+
+    def test_transactions_on_baseline_scheme_too(self, tiny_config):
+        """pmlib is scheme-agnostic: it runs on Base-LU identically."""
+        system = SecureEpdSystem(tiny_config, scheme="base-lu")
+        tx = TransactionManager(system, LOG_BASE)
+        with tx.transaction() as t:
+            t.write(0, b"\x55" * 64)
+        system.crash(seed=2)
+        system.recover()
+        assert tx.recover() == 0
+        assert system.read(0) == b"\x55" * 64

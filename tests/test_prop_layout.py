@@ -1,0 +1,71 @@
+"""Property-based tests: address-space layout invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import SystemConfig
+from repro.mem.regions import MemoryLayout
+
+
+@pytest.fixture(scope="module")
+def layout() -> MemoryLayout:
+    return MemoryLayout(SystemConfig.scaled(512))
+
+
+def data_addresses(layout):
+    return st.integers(0, layout.data.size // 64 - 1).map(lambda i: i * 64)
+
+
+class TestLayoutProperties:
+    @given(st.data())
+    @settings(max_examples=200)
+    def test_metadata_addresses_never_alias_data(self, layout, data):
+        address = data.draw(data_addresses(layout))
+        assert layout.counters.contains(layout.counter_block_address(address))
+        assert layout.macs.contains(layout.mac_block_address(address))
+
+    @given(st.data())
+    @settings(max_examples=200)
+    def test_counter_mapping_is_page_injective(self, layout, data):
+        a = data.draw(data_addresses(layout))
+        b = data.draw(data_addresses(layout))
+        same_page = (a // 4096) == (b // 4096)
+        same_counter = (layout.counter_block_address(a)
+                        == layout.counter_block_address(b))
+        assert same_page == same_counter
+
+    @given(st.data())
+    @settings(max_examples=200)
+    def test_mac_slot_address_pair_is_injective(self, layout, data):
+        a = data.draw(data_addresses(layout))
+        b = data.draw(data_addresses(layout))
+        if a != b:
+            assert (layout.mac_block_address(a), layout.mac_slot(a)) != \
+                (layout.mac_block_address(b), layout.mac_slot(b))
+
+    @given(st.data())
+    @settings(max_examples=100)
+    def test_tree_parent_arithmetic_consistency(self, layout, data):
+        """Every counter block's verification path ends at the root in
+        exactly num_tree_levels steps with in-range slots."""
+        address = data.draw(data_addresses(layout))
+        cb = layout.counter_block_address(address)
+        level, index, slot = layout.parent_of_counter_block(cb)
+        steps = 1
+        while level < layout.num_tree_levels:
+            assert 0 <= slot < 8
+            assert 0 <= index < layout.tree_levels[level - 1]
+            level, index, slot = layout.parent_of_tree_node(level, index)
+            steps += 1
+        assert index == 0
+        assert steps == layout.num_tree_levels
+
+    @given(st.data())
+    @settings(max_examples=100)
+    def test_tree_node_address_roundtrip(self, layout, data):
+        level = data.draw(st.integers(1, layout.num_tree_levels))
+        index = data.draw(st.integers(0, layout.tree_levels[level - 1] - 1))
+        address = layout.tree_node_address(level, index)
+        assert layout.tree_node_coords(address) == (level, index)
+        assert layout.classify(address) == "tree"

@@ -1,0 +1,86 @@
+"""Model-based property tests: the whole memory stack vs a flat reference.
+
+Whatever caching, eviction, inclusion, coherence, encryption, and metadata
+machinery does internally, the observable contract is a flat address space:
+a read returns the most recent write.  Hypothesis drives random operation
+sequences against each system flavour and a plain dict reference.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import SystemConfig
+from repro.core.system import SecureEpdSystem
+
+CONFIG = SystemConfig.scaled(512)
+
+# A small, collision-rich address pool (few distinct sets and counter pages)
+# to maximize evictions and metadata churn.
+addresses = st.integers(0, 400).map(lambda i: i * 64)
+payloads = st.binary(min_size=64, max_size=64)
+op_sequences = st.lists(
+    st.tuples(st.booleans(), addresses, payloads), min_size=1, max_size=120)
+
+SLOW = settings(max_examples=25, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+def _run_against_reference(system, ops):
+    reference: dict[int, bytes] = {}
+    for is_write, address, payload in ops:
+        if is_write:
+            system.write(address, payload)
+            reference[address] = payload
+        else:
+            expected = reference.get(address, bytes(64))
+            assert system.read(address) == expected, hex(address)
+    for address, expected in reference.items():
+        assert system.read(address) == expected, hex(address)
+
+
+class TestFlatMemoryContract:
+    @given(ops=op_sequences)
+    @SLOW
+    def test_nosec_system(self, ops):
+        _run_against_reference(SecureEpdSystem(CONFIG, "nosec"), ops)
+
+    @given(ops=op_sequences)
+    @SLOW
+    def test_lazy_secure_system(self, ops):
+        _run_against_reference(SecureEpdSystem(CONFIG, "base-lu"), ops)
+
+    @given(ops=op_sequences)
+    @SLOW
+    def test_eager_secure_system(self, ops):
+        _run_against_reference(SecureEpdSystem(CONFIG, "base-eu"), ops)
+
+    @given(ops=op_sequences)
+    @SLOW
+    def test_non_inclusive_hierarchy(self, ops):
+        system = SecureEpdSystem(CONFIG, "horus-slm", inclusive=False,
+                                 recovery_mode="writeback")
+        _run_against_reference(system, ops)
+
+
+class TestContractAcrossCrashes:
+    @given(ops=op_sequences, crash_point=st.integers(0, 119))
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_horus_crash_anywhere_preserves_the_map(self, ops, crash_point):
+        """Crash after an arbitrary prefix of the workload: the recovered
+        system must still satisfy the flat-memory contract."""
+        system = SecureEpdSystem(CONFIG, "horus-dlm")
+        reference: dict[int, bytes] = {}
+        for index, (is_write, address, payload) in enumerate(ops):
+            if is_write:
+                system.write(address, payload)
+                reference[address] = payload
+            else:
+                system.read(address)
+            if index == crash_point:
+                report = system.crash(seed=index)
+                if report.flushed_blocks + report.metadata_blocks:
+                    system.recover()
+                # (an all-clean hierarchy drains nothing; nothing to recover)
+        for address, expected in reference.items():
+            assert system.read(address) == expected, hex(address)

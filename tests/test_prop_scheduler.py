@@ -1,0 +1,73 @@
+"""Property-based tests: banked replay and FR-FCFS scheduling bounds."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import SystemConfig
+from repro.mem.banking import BankGeometry, replay_makespan
+from repro.mem.scheduler import schedule_trace
+
+CONFIG = SystemConfig.scaled(512)
+
+traces = st.lists(
+    st.tuples(st.integers(0, 127).map(lambda i: i * 64), st.booleans()),
+    min_size=1, max_size=120)
+geometries = st.builds(
+    BankGeometry,
+    channels=st.integers(1, 4),
+    banks_per_channel=st.sampled_from([1, 2, 4, 8]),
+    command_slot_ns=st.sampled_from([0.0, 2.5, 10.0]))
+
+
+def _latency(is_write: bool) -> float:
+    return (CONFIG.memory.write_latency_ns if is_write
+            else CONFIG.memory.read_latency_ns)
+
+
+def _lower_bound(trace, geometry) -> float:
+    """No schedule can beat the busiest bank or the command bus."""
+    per_bank: dict[int, float] = {}
+    for address, is_write in trace:
+        bank = geometry.bank_of(address)
+        per_bank[bank] = per_bank.get(bank, 0.0) + _latency(is_write)
+    bus = (len(trace) - 1) * geometry.command_slot_ns + min(
+        _latency(w) for _, w in trace)
+    return max(max(per_bank.values()), bus)
+
+
+class TestSchedulingBounds:
+    @given(trace=traces, geometry=geometries)
+    @settings(max_examples=80, deadline=None)
+    def test_replay_respects_the_lower_bound(self, trace, geometry):
+        result = replay_makespan(trace, CONFIG, geometry)
+        assert result.makespan_ns >= _lower_bound(trace, geometry) - 1e-6
+
+    @given(trace=traces, geometry=geometries)
+    @settings(max_examples=80, deadline=None)
+    def test_replay_respects_the_serial_upper_bound(self, trace, geometry):
+        serial = sum(_latency(w) for _, w in trace) \
+            + len(trace) * geometry.command_slot_ns
+        result = replay_makespan(trace, CONFIG, geometry)
+        assert result.makespan_ns <= serial + 1e-6
+
+    @given(trace=traces, geometry=geometries,
+           window=st.sampled_from([1, 4, 32]))
+    @settings(max_examples=60, deadline=None, derandomize=True)
+    def test_frfcfs_never_loses_to_fcfs(self, trace, geometry, window):
+        fcfs = schedule_trace(trace, CONFIG, geometry, "fcfs", window)
+        frfcfs = schedule_trace(trace, CONFIG, geometry, "frfcfs", window)
+        assert frfcfs.makespan_ns <= fcfs.makespan_ns + 1e-6
+
+    @given(trace=traces, geometry=geometries)
+    @settings(max_examples=60, deadline=None)
+    def test_scheduler_also_respects_the_lower_bound(self, trace, geometry):
+        result = schedule_trace(trace, CONFIG, geometry, "frfcfs")
+        assert result.makespan_ns >= _lower_bound(trace, geometry) - 1e-6
+
+    @given(trace=traces)
+    @settings(max_examples=40, deadline=None)
+    def test_single_bank_equals_serialized_time(self, trace):
+        geometry = BankGeometry(1, 1, command_slot_ns=0)
+        serial = sum(_latency(w) for _, w in trace)
+        result = replay_makespan(trace, CONFIG, geometry)
+        assert result.makespan_ns == serial

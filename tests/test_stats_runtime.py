@@ -1,0 +1,96 @@
+"""Run-time performance model and hierarchy access accounting."""
+
+from collections import Counter
+
+import pytest
+
+from repro.common.config import SystemConfig
+from repro.core.system import SecureEpdSystem
+from repro.stats.counters import SimStats
+from repro.stats.events import MacKind, ReadKind
+from repro.stats.runtime import RuntimePerfModel
+from repro.workloads.generators import kvstore_trace
+
+
+@pytest.fixture(scope="module")
+def model() -> RuntimePerfModel:
+    return RuntimePerfModel(SystemConfig.paper())
+
+
+class TestAccessCosts:
+    def test_hit_costs_accumulate_down_the_hierarchy(self, model):
+        # Table I: L1 2cy; an L2 hit paid the L1 probe too (2+20); an LLC
+        # hit paid both above it (2+20+32); a miss paid the full traversal.
+        b = model.breakdown(Counter({"l1": 1}), SimStats())
+        assert b.cache_cycles == 2
+        b = model.breakdown(Counter({"l2": 1}), SimStats())
+        assert b.cache_cycles == 22
+        b = model.breakdown(Counter({"llc": 1}), SimStats())
+        assert b.cache_cycles == 54
+        b = model.breakdown(Counter({"miss": 1}), SimStats())
+        assert b.cache_cycles == 54
+
+    def test_memory_and_crypto_come_from_stats_delta(self, model):
+        stats = SimStats()
+        stats.record_read(ReadKind.DATA, 2)      # 1200 cycles
+        stats.record_mac(MacKind.VERIFY, 1)      # 160 cycles
+        b = model.breakdown(Counter(), stats)
+        assert b.memory_cycles == 1200
+        assert b.crypto_cycles == 160
+        assert b.total_cycles == 1360
+
+    def test_cycles_per_access(self, model):
+        b = model.breakdown(Counter({"l1": 4}), SimStats())
+        assert b.cycles_per_access == pytest.approx(2.0)
+        empty = model.breakdown(Counter(), SimStats())
+        assert empty.cycles_per_access == 0.0
+
+
+class TestHierarchyAccounting:
+    def test_levels_are_attributed(self, tiny_config):
+        system = SecureEpdSystem(tiny_config, scheme="nosec")
+        system.write(0, b"\x01" * 64)     # miss (write-allocate)
+        system.read(0)                    # L1 hit
+        counts = system.hierarchy.access_counts
+        assert counts["miss"] == 1
+        assert counts["l1"] == 1
+
+    def test_l2_hit_after_l1_eviction(self, tiny_config):
+        system = SecureEpdSystem(tiny_config, scheme="nosec")
+        # Fill one L1 set beyond capacity so the first line falls to L2.
+        stride = tiny_config.l1.num_sets * 64
+        lines = tiny_config.l1.ways + 1
+        for i in range(lines):
+            system.write(i * stride, bytes(64))
+        system.hierarchy.access_counts.clear()
+        system.read(0)
+        assert system.hierarchy.access_counts["l2"] == 1
+
+
+class TestReplay:
+    def test_replay_measures_an_isolated_delta(self, tiny_config):
+        model = RuntimePerfModel(tiny_config)
+        system = SecureEpdSystem(tiny_config, scheme="base-lu")
+        trace = kvstore_trace(200, footprint_blocks=64, seed=3)
+        first = model.replay(system, trace)
+        assert first.accesses == 200
+        assert first.total_cycles > 0
+
+    def test_horus_equals_lazy_at_runtime(self, tiny_config):
+        """The Section IV-B premise, as a unit test."""
+        model = RuntimePerfModel(tiny_config)
+        footprint = tiny_config.llc.num_lines * 2
+        trace = kvstore_trace(footprint, footprint_blocks=footprint, seed=5)
+        totals = {}
+        for scheme in ("base-lu", "horus-slm", "horus-dlm"):
+            system = SecureEpdSystem(tiny_config, scheme=scheme)
+            totals[scheme] = model.replay(system, trace).total_cycles
+        assert totals["base-lu"] == totals["horus-slm"] == \
+            totals["horus-dlm"]
+
+    def test_runtime_experiment_passes(self):
+        from repro.experiments.runtime_overhead import run
+        from repro.experiments.suite import DrainSuite
+        result = run(DrainSuite(scale=256))
+        assert result.all_checks_pass, [c for c in result.checks
+                                        if not c.passed]

@@ -1,0 +1,119 @@
+"""Zipfian sampler and YCSB-style workload mixes."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.workloads.trace import OpKind, summarize
+from repro.workloads.ycsb import SCAN_LENGTH, ycsb_trace
+from repro.workloads.zipf import ZipfSampler
+
+
+class TestZipfSampler:
+    def test_samples_stay_in_population(self):
+        sampler = ZipfSampler(100, seed=1)
+        assert all(0 <= k < 100 for k in sampler.sample_many(1000))
+
+    def test_skew_prefers_low_ranks(self):
+        sampler = ZipfSampler(1000, theta=0.99, seed=2)
+        draws = sampler.sample_many(5000)
+        top_decile = sum(1 for k in draws if k < 100)
+        assert top_decile > len(draws) * 0.5
+
+    def test_theta_zero_is_uniform(self):
+        sampler = ZipfSampler(10, theta=0.0, seed=3)
+        for k in range(10):
+            assert sampler.probability(k) == pytest.approx(0.1)
+
+    def test_probabilities_sum_to_one(self):
+        sampler = ZipfSampler(50, theta=1.2, seed=4)
+        assert sum(sampler.probability(k) for k in range(50)) == \
+            pytest.approx(1.0)
+
+    def test_probability_is_monotone_decreasing(self):
+        sampler = ZipfSampler(20, theta=0.99, seed=5)
+        probs = [sampler.probability(k) for k in range(20)]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_deterministic_per_seed(self):
+        assert ZipfSampler(100, seed=7).sample_many(50) == \
+            ZipfSampler(100, seed=7).sample_many(50)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigError):
+            ZipfSampler(0)
+        with pytest.raises(ConfigError):
+            ZipfSampler(10, theta=-1)
+        with pytest.raises(ConfigError):
+            ZipfSampler(10).probability(10)
+
+
+class TestYcsbMixes:
+    FOOTPRINT = 128
+
+    def _mix(self, workload: str, n: int = 2000):
+        trace = ycsb_trace(workload, n, self.FOOTPRINT, seed=11)
+        return trace, summarize(trace)
+
+    def test_workload_a_is_half_updates(self):
+        _, summary = self._mix("a")
+        assert 0.45 < summary.write_fraction < 0.55
+
+    def test_workload_b_is_read_heavy(self):
+        _, summary = self._mix("b")
+        assert 0.02 < summary.write_fraction < 0.09
+
+    def test_workload_c_is_read_only(self):
+        _, summary = self._mix("c")
+        assert summary.num_writes == 0
+
+    def test_workload_d_inserts_advance(self):
+        trace, summary = self._mix("d")
+        assert 0.02 < summary.write_fraction < 0.09
+
+    def test_workload_e_scans_are_sequential(self):
+        trace, _ = self._mix("e")
+        runs = 0
+        for a, b in zip(trace, trace[1:]):
+            if (a.kind is OpKind.READ and b.kind is OpKind.READ
+                    and b.address - a.address == 64):
+                runs += 1
+        # Scans of SCAN_LENGTH consecutive blocks dominate the trace.
+        assert runs > len(trace) * 0.5
+        assert SCAN_LENGTH == 8
+
+    def test_workload_f_pairs_reads_with_writes(self):
+        trace, summary = self._mix("f")
+        assert summary.write_fraction == pytest.approx(0.5, abs=0.01)
+        for read, write in zip(trace[::2], trace[1::2]):
+            assert read.kind is OpKind.READ
+            assert write.kind is OpKind.WRITE
+            assert read.address == write.address
+
+    def test_addresses_within_footprint(self):
+        for workload in "abcdef":
+            trace, _ = self._mix(workload, n=500)
+            assert all(op.address < self.FOOTPRINT * 64 for op in trace)
+
+    def test_skew_concentrates_traffic(self):
+        trace, summary = self._mix("c")
+        assert summary.footprint_blocks < self.FOOTPRINT
+
+    def test_exact_trace_length(self):
+        for workload in "abcdef":
+            assert len(ycsb_trace(workload, 777, 64, seed=1)) == 777
+
+    def test_rejects_unknown_workload(self):
+        with pytest.raises(ConfigError):
+            ycsb_trace("g", 10, 64)
+
+    def test_end_to_end_on_secure_system(self, tiny_config):
+        """A YCSB-A run survives a crash/recover cycle."""
+        from repro.core.system import SecureEpdSystem
+        from repro.workloads.generators import replay
+        system = SecureEpdSystem(tiny_config, scheme="horus-dlm")
+        trace = ycsb_trace("a", 400, 96, seed=13)
+        expected = replay(system, trace)
+        system.crash(seed=2)
+        system.recover()
+        for address, data in expected.items():
+            assert system.read(address) == data
