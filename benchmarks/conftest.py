@@ -5,20 +5,32 @@ the calibration point where the simulated Base-LU already shows the paper's
 ~10x memory-request explosion (full scale reproduces 10.13x vs the paper's
 10.3x; see EXPERIMENTS.md).  Set ``REPRO_BENCH_SCALE=1`` to run the
 benchmarks at the paper's full Table I configuration (~2 minutes).
+
+Both suites are backed by the persistent drain-report cache under
+``results/.cache/`` (shared with ``python -m repro.experiments.runner``), so
+a warm rerun skips every already-computed episode.  Set
+``REPRO_BENCH_CACHE=0`` to disable the cache — e.g. when the wall times of
+the drain episodes themselves are what is being measured.
 """
 
 import os
 
 import pytest
 
+from repro.experiments.cache import ResultCache
 from repro.experiments.suite import DrainSuite
 
 BENCH_SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "16"))
+BENCH_CACHE = os.environ.get("REPRO_BENCH_CACHE", "1") != "0"
+
+
+def _cache() -> ResultCache | None:
+    return ResultCache() if BENCH_CACHE else None
 
 
 @pytest.fixture(scope="session")
 def suite() -> DrainSuite:
-    return DrainSuite(scale=BENCH_SCALE)
+    return DrainSuite(scale=BENCH_SCALE, cache=_cache())
 
 
 @pytest.fixture(scope="session")
@@ -29,7 +41,7 @@ def sweep_suite() -> DrainSuite:
     they keep a 1/32 floor even under ``REPRO_BENCH_SCALE=1`` (the
     full-scale sweep lives in ``python -m repro --scale 1``).
     """
-    return DrainSuite(scale=max(BENCH_SCALE, 32))
+    return DrainSuite(scale=max(BENCH_SCALE, 32), cache=_cache())
 
 
 def report_result(benchmark, result) -> None:

@@ -8,7 +8,10 @@ Subcommands::
     python -m repro experiments [runner args...]        # regenerate figures
 
 ``python -m repro`` with no subcommand runs the experiment runner, which is
-the most common use.
+the most common use.  Runner flags are forwarded verbatim — notably
+``--jobs N`` (parallel fan-out across worker processes), ``--no-cache`` /
+``--refresh`` (persistent result cache under ``results/.cache/``), and
+``--profile`` (per-experiment timing and cache-hit accounting).
 """
 
 import argparse

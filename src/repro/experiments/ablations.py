@@ -16,9 +16,8 @@ Three studies probe the design choices the paper argues for:
 
 from dataclasses import replace
 
-from repro.core.system import SecureEpdSystem
 from repro.experiments.result import ExperimentResult, ShapeCheck
-from repro.experiments.suite import DRAIN_SEED, FILL_SEED, DrainSuite
+from repro.experiments.suite import DrainSuite
 
 
 def run_locality(suite: DrainSuite) -> ExperimentResult:
@@ -27,12 +26,7 @@ def run_locality(suite: DrainSuite) -> ExperimentResult:
     values: dict[tuple[str, str], int] = {}
     for scheme in ("base-lu", "horus-slm"):
         for fill in ("sparse", "sequential"):
-            system = SecureEpdSystem(suite.config(), scheme=scheme)
-            if fill == "sparse":
-                system.fill_worst_case(seed=FILL_SEED)
-            else:
-                system.hierarchy.fill_sequential()
-            report = system.crash(seed=DRAIN_SEED)
+            report = suite.episode(suite.config(), scheme, fill=fill)
             per_block = report.total_memory_requests / report.flushed_blocks
             values[(scheme, fill)] = report.total_memory_requests
             rows.append([scheme, fill, report.flushed_blocks,
@@ -75,9 +69,7 @@ def run_metadata_cache(suite: DrainSuite) -> ExperimentResult:
             mac_cache_size=sec.mac_cache_size * factor,
             tree_cache_size=sec.tree_cache_size * factor,
         ))
-        system = SecureEpdSystem(config, scheme="base-lu")
-        system.fill_worst_case(seed=FILL_SEED)
-        report = system.crash(seed=DRAIN_SEED)
+        report = suite.episode(config, "base-lu")
         requests.append(report.total_memory_requests)
         rows.append([f"{factor}x", report.total_memory_requests,
                      report.total_memory_requests / report.flushed_blocks])

@@ -2,7 +2,10 @@
 
 The runner can archive a full regeneration run (`--output DIR`), producing
 machine-readable JSON (for regression tracking across library versions) and
-a human-readable Markdown report mirroring EXPERIMENTS.md's structure.
+a human-readable Markdown report mirroring EXPERIMENTS.md's structure.  When
+the runner collected a :class:`~repro.experiments.profile.RunProfile`, both
+documents embed it — per-experiment wall time, worker ids, and cache
+hit/miss counters travel with the results they describe.
 """
 
 import json
@@ -13,23 +16,11 @@ from repro.experiments.result import ExperimentResult
 
 def result_to_dict(result: ExperimentResult) -> dict:
     """A JSON-safe dictionary for one experiment result."""
-    return {
-        "experiment_id": result.experiment_id,
-        "title": result.title,
-        "paper_expectation": result.paper_expectation,
-        "headers": list(result.headers),
-        "rows": [[_json_cell(value) for value in row]
-                 for row in result.rows],
-        "checks": [
-            {"claim": check.claim, "passed": check.passed,
-             "measured": check.measured}
-            for check in result.checks
-        ],
-        "all_checks_pass": result.all_checks_pass,
-    }
+    return result.to_dict()
 
 
-def to_json(results: list[ExperimentResult], scale: int) -> str:
+def to_json(results: list[ExperimentResult], scale: int,
+            profile=None) -> str:
     """Serialize a full run to a JSON document."""
     document = {
         "scale": scale,
@@ -38,10 +29,13 @@ def to_json(results: list[ExperimentResult], scale: int) -> str:
         "passed_checks": sum(
             sum(1 for c in r.checks if c.passed) for r in results),
     }
+    if profile is not None:
+        document["profile"] = profile.to_dict()
     return json.dumps(document, indent=2)
 
 
-def to_markdown(results: list[ExperimentResult], scale: int) -> str:
+def to_markdown(results: list[ExperimentResult], scale: int,
+                profile=None) -> str:
     """Render a full run as a Markdown report."""
     lines = [
         "# Regenerated evaluation results",
@@ -63,25 +57,32 @@ def to_markdown(results: list[ExperimentResult], scale: int) -> str:
             mark = "x" if check.passed else " "
             lines.append(f"- [{mark}] {check.claim} — {check.measured}")
         lines.append("")
+    if profile is not None:
+        lines.append("## Run profile")
+        lines.append("")
+        lines.append(
+            f"jobs={profile.jobs}, wall {profile.wall_seconds:.2f}s, busy "
+            f"{profile.busy_seconds:.2f}s; cache {profile.cache_hits} hits / "
+            f"{profile.cache_misses} misses / {profile.cache_stores} stores.")
+        lines.append("")
+        lines.append("| unit | kind | worker | source | seconds |")
+        lines.append("|---|---|---|---|---|")
+        for row in profile.summary_rows():
+            lines.append("| " + " | ".join(_md_cell(v) for v in row) + " |")
+        lines.append("")
     return "\n".join(lines)
 
 
 def write_results(results: list[ExperimentResult], directory: str,
-                  scale: int) -> list[Path]:
+                  scale: int, profile=None) -> list[Path]:
     """Write ``results.json`` and ``results.md`` into ``directory``."""
     out = Path(directory)
     out.mkdir(parents=True, exist_ok=True)
     json_path = out / "results.json"
     md_path = out / "results.md"
-    json_path.write_text(to_json(results, scale))
-    md_path.write_text(to_markdown(results, scale))
+    json_path.write_text(to_json(results, scale, profile=profile))
+    md_path.write_text(to_markdown(results, scale, profile=profile))
     return [json_path, md_path]
-
-
-def _json_cell(value: object) -> object:
-    if isinstance(value, (int, float, str, bool)) or value is None:
-        return value
-    return str(value)
 
 
 def _md_cell(value: object) -> str:

@@ -1,0 +1,118 @@
+"""Observability for the experiment harness.
+
+Every runner invocation (serial or parallel) produces a :class:`RunProfile`:
+one :class:`TimingRecord` per scheduled unit of work — prewarmed drain
+episodes and experiments alike — with its wall time, the worker that ran it,
+and whether it was computed or served from the persistent cache, plus the
+run's cache hit/miss/store counters.  ``--profile`` renders it as a table
+and a worker-timeline chart (via the ``stats`` machinery), and the JSON /
+Markdown export embeds the same data for provenance.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.stats.chart import render_spans
+from repro.stats.report import format_table
+
+
+@dataclass(frozen=True)
+class TimingRecord:
+    """One scheduled unit of work: a drain episode or an experiment."""
+
+    name: str
+    kind: str  # "episode" | "experiment"
+    seconds: float
+    worker: str  # "main" or the worker process id
+    source: str  # "computed" | "cache"
+    started: float = 0.0  # offset from the run's start, seconds
+
+
+@dataclass
+class RunProfile:
+    """Timing + cache accounting for one runner invocation."""
+
+    jobs: int = 1
+    scale: int = 16
+    records: list = field(default_factory=list)
+    wall_seconds: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_stores: int = 0
+
+    def add(self, record: TimingRecord) -> None:
+        self.records.append(record)
+
+    def absorb_cache(self, counters: dict) -> None:
+        self.cache_hits += counters.get("hits", 0)
+        self.cache_misses += counters.get("misses", 0)
+        self.cache_stores += counters.get("stores", 0)
+
+    # -- derived --------------------------------------------------------------
+
+    @property
+    def busy_seconds(self) -> float:
+        """Sum of per-record wall times (> wall_seconds when parallel)."""
+        return sum(record.seconds for record in self.records)
+
+    @property
+    def cached_records(self) -> int:
+        return sum(1 for r in self.records if r.source == "cache")
+
+    @property
+    def workers(self) -> list[str]:
+        seen: list[str] = []
+        for record in self.records:
+            if record.worker not in seen:
+                seen.append(record.worker)
+        return seen
+
+    # -- rendering ------------------------------------------------------------
+
+    def summary_rows(self) -> list[list[object]]:
+        rows = []
+        for record in sorted(self.records, key=lambda r: r.started):
+            rows.append([record.name, record.kind, record.worker,
+                         record.source, record.seconds])
+        return rows
+
+    def render(self, width: int = 48) -> str:
+        """The ``--profile`` report: summary table + worker timeline."""
+        lines = [
+            f"=== profile: {len(self.records)} units on jobs={self.jobs} "
+            f"(scale={self.scale}) ===",
+            f"wall {self.wall_seconds:.2f}s, busy {self.busy_seconds:.2f}s, "
+            f"cache {self.cache_hits} hits / {self.cache_misses} misses / "
+            f"{self.cache_stores} stores",
+            "",
+            format_table(["unit", "kind", "worker", "source", "seconds"],
+                         self.summary_rows()),
+        ]
+        timed = [r for r in self.records if r.seconds > 0]
+        if timed:
+            timed.sort(key=lambda r: r.started)
+            lines.append("")
+            lines.append("timeline (offset from run start):")
+            lines.append(render_spans(
+                [f"{r.name} [{r.worker}]" for r in timed],
+                [r.started for r in timed],
+                [r.seconds for r in timed],
+                width=width))
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-safe form, embedded in the runner's export."""
+        return {
+            "jobs": self.jobs,
+            "scale": self.scale,
+            "wall_seconds": self.wall_seconds,
+            "busy_seconds": self.busy_seconds,
+            "cache": {"hits": self.cache_hits, "misses": self.cache_misses,
+                      "stores": self.cache_stores},
+            "workers": self.workers,
+            "records": [
+                {"name": r.name, "kind": r.kind, "seconds": r.seconds,
+                 "worker": r.worker, "source": r.source,
+                 "started": r.started}
+                for r in self.records
+            ],
+        }

@@ -4,6 +4,11 @@ Every experiment module produces an :class:`ExperimentResult`: the table the
 paper prints (headers + rows), the paper's headline expectation for that
 table, and a set of named *shape checks* — the qualitative claims (who wins,
 by roughly what factor) the reproduction is expected to preserve.
+
+Results cross process boundaries (the parallel runner computes them in
+worker processes) and land in the persistent result cache, so everything
+here must stay picklable and :meth:`ExperimentResult.to_dict` defines the
+canonical JSON-safe payload two runs are compared by.
 """
 
 from dataclasses import dataclass, field
@@ -39,6 +44,27 @@ class ExperimentResult:
     def all_checks_pass(self) -> bool:
         return all(check.passed for check in self.checks)
 
+    def to_dict(self) -> dict:
+        """The canonical JSON-safe payload for this result.
+
+        Serial and parallel runs must produce byte-identical payloads; the
+        export layer and the equivalence tests both consume this form.
+        """
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "paper_expectation": self.paper_expectation,
+            "headers": list(self.headers),
+            "rows": [[_json_cell(value) for value in row]
+                     for row in self.rows],
+            "checks": [
+                {"claim": check.claim, "passed": check.passed,
+                 "measured": check.measured}
+                for check in self.checks
+            ],
+            "all_checks_pass": self.all_checks_pass,
+        }
+
     def to_text(self) -> str:
         lines = [
             f"=== {self.experiment_id}: {self.title} ===",
@@ -50,3 +76,9 @@ class ExperimentResult:
             lines.append("")
             lines.extend(str(check) for check in self.checks)
         return "\n".join(lines)
+
+
+def _json_cell(value: object) -> object:
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    return str(value)

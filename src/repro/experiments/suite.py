@@ -5,6 +5,12 @@ Most figures and tables consume the same five worst-case drain episodes
 most once and memoizes the report.  ``scale`` shrinks the paper configuration
 uniformly (see :meth:`~repro.common.config.SystemConfig.scaled`); ``scale=1``
 is the paper's Table I setup.
+
+A suite can additionally be backed by a persistent
+:class:`~repro.experiments.cache.ResultCache`: every episode is then keyed
+by (config, scheme, fill, seeds, code version) and survives across runner
+invocations and process boundaries — the parallel runner's workers and the
+benchmarks all share one on-disk store.
 """
 
 from repro.common.config import SystemConfig
@@ -15,16 +21,20 @@ from repro.epd.drain import DrainReport
 FILL_SEED = 11
 DRAIN_SEED = 23
 
+FILL_MODES = ("sparse", "sequential")
+
 
 class DrainSuite:
     """Runs and memoizes worst-case drain episodes."""
 
     def __init__(self, scale: int = 16, functional: bool = True,
-                 llc_size: int = mib(16)):
+                 llc_size: int = mib(16), cache=None):
         self.scale = scale
         self.functional = functional
         self.llc_size = llc_size
+        self.cache = cache
         self._reports: dict[tuple[int, str], DrainReport] = {}
+        self._episodes: dict[tuple, DrainReport] = {}
 
     def config(self, llc_size: int | None = None) -> SystemConfig:
         config = SystemConfig.scaled(
@@ -41,11 +51,59 @@ class DrainSuite:
             raise ValueError(f"unknown scheme {scheme!r}")
         key = (llc_size or self.llc_size, scheme)
         if key not in self._reports:
-            system = SecureEpdSystem(self.config(llc_size), scheme=scheme)
-            system.fill_worst_case(seed=FILL_SEED)
-            self._reports[key] = system.crash(seed=DRAIN_SEED)
+            self._reports[key] = self.episode(self.config(llc_size), scheme)
         return self._reports[key]
+
+    def episode(self, config: SystemConfig, scheme: str,
+                fill: str = "sparse", fill_seed: int = FILL_SEED,
+                drain_seed: int = DRAIN_SEED) -> DrainReport:
+        """One fill+crash drain episode over an arbitrary ``config``.
+
+        The general entry point behind :meth:`drain` — ablations that vary
+        the configuration or the fill pattern route through it so their
+        episodes share the in-memory memo and the persistent cache.
+        """
+        if fill not in FILL_MODES:
+            raise ValueError(f"unknown fill mode {fill!r}")
+        memo_key = (config, scheme, fill, fill_seed, drain_seed)
+        if memo_key in self._episodes:
+            return self._episodes[memo_key]
+
+        cache_key = None
+        if self.cache is not None:
+            from repro.experiments.cache import episode_key
+            cache_key = episode_key(config, scheme, fill,
+                                    fill_seed, drain_seed)
+            report = self.cache.get(cache_key)
+            if report is not None:
+                self._episodes[memo_key] = report
+                return report
+
+        report = run_episode(config, scheme, fill, fill_seed, drain_seed)
+        if cache_key is not None:
+            self.cache.put(cache_key, report)
+        self._episodes[memo_key] = report
+        return report
+
+    def seed_report(self, scheme: str, llc_size: int | None,
+                    report: DrainReport) -> None:
+        """Inject a precomputed default-path drain report (parallel prewarm)."""
+        self._reports[(llc_size or self.llc_size, scheme)] = report
 
     def all_drains(self) -> dict[str, DrainReport]:
         """Drain reports for every scheme at the default LLC size."""
         return {scheme: self.drain(scheme) for scheme in SCHEMES}
+
+
+def run_episode(config: SystemConfig, scheme: str, fill: str = "sparse",
+                fill_seed: int = FILL_SEED,
+                drain_seed: int = DRAIN_SEED) -> DrainReport:
+    """Run one drain episode from scratch (no memoization, no cache)."""
+    system = SecureEpdSystem(config, scheme=scheme)
+    if fill == "sparse":
+        system.fill_worst_case(seed=fill_seed)
+    elif fill == "sequential":
+        system.hierarchy.fill_sequential()
+    else:
+        raise ValueError(f"unknown fill mode {fill!r}")
+    return system.crash(seed=drain_seed)

@@ -39,6 +39,39 @@ def render_bars(labels: Sequence[str], values: Sequence[float],
     return "\n".join(lines)
 
 
+def render_spans(labels: Sequence[str], starts: Sequence[float],
+                 durations: Sequence[float],
+                 width: int = DEFAULT_WIDTH) -> str:
+    """Render horizontal time spans (a minimal Gantt view).
+
+    Each line shows ``[start, start + duration)`` as a bar offset within the
+    global ``[0, max end)`` window — the runner's ``--profile`` timeline uses
+    this to make parallel overlap (or the lack of it) visible.
+    """
+    if not (len(labels) == len(starts) == len(durations)):
+        raise ValueError("labels, starts and durations must align")
+    if not labels:
+        return ""
+    if width <= 0:
+        raise ValueError("width must be positive")
+    window = max(start + duration
+                 for start, duration in zip(starts, durations))
+    if window <= 0:
+        window = 1.0
+    label_width = max(len(label) for label in labels)
+    lines = []
+    for label, start, duration in zip(labels, starts, durations):
+        lead = round(width * min(start, window) / window)
+        cells = round(width * min(duration, window) / window)
+        if duration > 0 and cells == 0:
+            cells = 1
+        lead = min(lead, width - cells)
+        span = " " * lead + FULL * cells
+        lines.append(f"{label.ljust(label_width)} |{span.ljust(width)}| "
+                     f"{duration:,.3f}s @ {start:,.3f}s")
+    return "\n".join(lines)
+
+
 def render_grouped(groups: Mapping[str, Mapping[str, float]],
                    width: int = DEFAULT_WIDTH) -> str:
     """Render grouped bars: ``{group: {series: value}}`` (e.g. LLC sweeps),

@@ -1,0 +1,76 @@
+"""Property-based tests: SLM/DLM MAC-coalescing arithmetic.
+
+For any dirty-line count N (multiples of 8 and ragged tails alike), the
+Section IV closed form must coalesce exactly: SLM writes ceil(N/8) MAC
+blocks and computes N MACs; DLM writes ceil(N/64) MAC blocks and computes
+N + ceil(N/8) MACs — the paper's 1.125x MAC premium for 8x fewer writes.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.analytic import horus_drain_cost
+
+counts = st.integers(min_value=1, max_value=1 << 22)
+
+
+class TestCoalescingClosedForm:
+    @given(counts)
+    @settings(max_examples=300)
+    def test_slm_counts(self, n):
+        cost = horus_drain_cost(n, double_level_mac=False)
+        assert cost.data_writes == n
+        assert cost.address_writes == math.ceil(n / 8)
+        assert cost.mac_writes == math.ceil(n / 8)
+        assert cost.mac_computations == n
+        assert cost.aes_operations == n
+        assert cost.total_writes == n + 2 * math.ceil(n / 8)
+
+    @given(counts)
+    @settings(max_examples=300)
+    def test_dlm_counts(self, n):
+        cost = horus_drain_cost(n, double_level_mac=True)
+        assert cost.data_writes == n
+        assert cost.address_writes == math.ceil(n / 8)
+        assert cost.mac_writes == math.ceil(n / 64)
+        assert cost.mac_computations == n + math.ceil(n / 8)
+        assert cost.total_writes == n + math.ceil(n / 8) + math.ceil(n / 64)
+
+    @given(counts)
+    @settings(max_examples=300)
+    def test_dlm_mac_premium_is_bounded_by_1_125(self, n):
+        """DLM/SLM MAC ratio: exactly 1.125x when 8 | N, and never more
+        than (N + ceil(N/8)) / N <= 1.125 + tail slack below 1/N."""
+        slm = horus_drain_cost(n, double_level_mac=False)
+        dlm = horus_drain_cost(n, double_level_mac=True)
+        ratio = dlm.mac_computations / slm.mac_computations
+        if n % 8 == 0:
+            assert ratio == 1.125
+        else:
+            # Ragged tail: one extra level-2 MAC at most.
+            assert 1.125 < ratio <= 1.125 + 1 / n
+
+    @given(counts)
+    @settings(max_examples=300)
+    def test_dlm_write_saving_dominates_its_mac_cost(self, n):
+        """DLM never writes more than SLM, and saves ceil(N/8) - ceil(N/64)
+        MAC-block writes exactly."""
+        slm = horus_drain_cost(n, double_level_mac=False)
+        dlm = horus_drain_cost(n, double_level_mac=True)
+        saved = slm.total_writes - dlm.total_writes
+        assert saved == math.ceil(n / 8) - math.ceil(n / 64)
+        assert saved >= 0
+
+    @given(st.integers(min_value=1, max_value=1 << 16))
+    @settings(max_examples=200)
+    def test_tails_occupy_one_partial_block(self, n):
+        """A non-multiple-of-8 tail costs exactly one extra (partially
+        filled) address block and MAC block."""
+        cost = horus_drain_cost(n, double_level_mac=False)
+        full = horus_drain_cost(n - n % 8, double_level_mac=False) \
+            if n % 8 else cost
+        if n % 8:
+            assert cost.address_writes == full.address_writes + 1
+            assert cost.mac_writes == full.mac_writes + 1

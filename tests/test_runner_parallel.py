@@ -1,0 +1,81 @@
+"""Parallel-vs-serial equivalence of the experiment runner.
+
+Every experiment is a pure function of fixed-seed drain episodes
+(``FILL_SEED``/``DRAIN_SEED``), so fanning work out across processes must
+not change a single payload byte.  These tests pin that, plus the runner's
+profile accounting and its episode-prewarm registry.
+"""
+
+import pytest
+
+from repro.experiments.result import ExperimentResult
+from repro.experiments.runner import (
+    EXPERIMENT_EPISODES,
+    EXPERIMENTS,
+    run_experiments,
+    run_experiments_profiled,
+)
+
+# Small but representative: shared-suite consumers, a sweep-free analytic
+# experiment, and an ablation that drains through suite.episode().
+NAMES = ["headline", "fig11", "fig13", "fig16", "ablation-coalescing"]
+SCALE = 128
+
+
+@pytest.fixture(scope="module")
+def serial_results() -> list[ExperimentResult]:
+    return run_experiments(NAMES, scale=SCALE, jobs=1)
+
+
+class TestParallelEquivalence:
+    def test_jobs4_payloads_identical_to_jobs1(self, serial_results):
+        parallel = run_experiments(NAMES, scale=SCALE, jobs=4)
+        assert [r.to_dict() for r in parallel] \
+            == [r.to_dict() for r in serial_results]
+
+    def test_results_come_back_in_request_order(self):
+        results = run_experiments(list(reversed(NAMES)), scale=SCALE, jobs=2)
+        assert [r.experiment_id for r in results] == list(reversed(NAMES))
+
+    def test_jobs2_also_identical(self, serial_results):
+        parallel = run_experiments(NAMES, scale=SCALE, jobs=2)
+        assert [r.to_dict() for r in parallel] \
+            == [r.to_dict() for r in serial_results]
+
+
+class TestRunProfile:
+    def test_serial_profile_records_every_experiment(self):
+        results, profile = run_experiments_profiled(
+            ["fig16", "ablation-coalescing"], scale=SCALE, jobs=1)
+        assert len(results) == 2
+        assert profile.jobs == 1
+        names = [r.name for r in profile.records]
+        assert names == ["fig16", "ablation-coalescing"]
+        assert all(r.worker == "main" for r in profile.records)
+        assert all(r.source == "computed" for r in profile.records)
+        assert profile.wall_seconds > 0
+
+    def test_parallel_profile_tracks_episodes_and_workers(self):
+        results, profile = run_experiments_profiled(
+            ["fig11"], scale=SCALE, jobs=2)
+        assert results[0].experiment_id == "fig11"
+        episodes = [r for r in profile.records if r.kind == "episode"]
+        assert {r.name for r in episodes} == {
+            "drain:nosec", "drain:base-lu", "drain:base-eu",
+            "drain:horus-slm", "drain:horus-dlm"}
+        assert all(r.worker != "main" for r in episodes)
+        assert profile.busy_seconds > 0
+        assert profile.render()  # table + timeline render without error
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            run_experiments(["bogus"], scale=SCALE, jobs=2)
+
+
+class TestEpisodeRegistry:
+    def test_every_experiment_has_a_prewarm_entry(self):
+        assert set(EXPERIMENT_EPISODES) == set(EXPERIMENTS)
+
+    def test_sweep_experiments_prewarm_every_llc_size(self):
+        llc_sizes = {llc for _, llc in EXPERIMENT_EPISODES["fig14"]}
+        assert len(llc_sizes) == 3
