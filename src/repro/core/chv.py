@@ -58,6 +58,19 @@ class ChvLayout:
             raise AddressError(
                 f"CHV position {position} outside capacity {self.capacity}")
 
+    def _check_group(self, group: int, per_block: int, label: str) -> None:
+        """Bounds-check a coalescing-group index before forming an address.
+
+        The final group may be partial (capacity not a multiple of
+        ``per_block``); ``ceil`` keeps it addressable while anything past it
+        raises :class:`AddressError` before any NVM access.
+        """
+        groups = -(-self.capacity // per_block)
+        if not 0 <= group < groups:
+            raise AddressError(
+                f"CHV {label} block {group} outside the layout's "
+                f"{groups} groups")
+
     def data_address(self, position: int) -> int:
         """NVM address of the ``position``-th vaulted data block."""
         self._check_position(position)
@@ -65,20 +78,21 @@ class ChvLayout:
 
     def address_block_address(self, group: int) -> int:
         """NVM address of the address block covering positions 8g..8g+7."""
-        self._check_position(group * ADDRESSES_PER_BLOCK)
+        self._check_group(group, ADDRESSES_PER_BLOCK, "address")
         return self._address_base + group * CACHE_LINE_SIZE
 
-    def mac_block_address(self, group: int) -> int:
+    def mac_block_address(self, group: int,
+                          group_size: int = MACS_PER_BLOCK) -> int:
         """NVM address of MAC block ``group``.
 
-        For Horus-SLM a MAC block covers 8 positions; for Horus-DLM it covers
-        64 (8 second-level MACs of 8 positions each); the caller chooses the
-        group arithmetic.
+        For Horus-SLM a MAC block covers 8 positions (``group_size=8``, the
+        default); for Horus-DLM it covers 64 (8 second-level MACs of 8
+        positions each, ``group_size=64``).  The group index is checked
+        against the layout's group count for that size before any NVM
+        access, exactly like :meth:`address_block_address`.
         """
-        address = self._mac_base + group * CACHE_LINE_SIZE
-        if address >= self.region.end:
-            raise AddressError(f"CHV MAC block {group} beyond region end")
-        return address
+        self._check_group(group, group_size, "MAC")
+        return self._mac_base + group * CACHE_LINE_SIZE
 
 
 @dataclass(frozen=True)

@@ -146,7 +146,7 @@ class HorusDrainEngine(DrainEngine):
         payload = b"".join(macs).ljust(CACHE_LINE_SIZE, b"\0")
         group = self._rotation.mac_group(state.mac_group_index,
                                          self.mac_group)
-        self._nvm.write(self._chv.mac_block_address(group),
+        self._nvm.write(self._chv.mac_block_address(group, self.mac_group),
                         payload, WriteKind.CHV_MAC)
         state.mac_group_index += 1
 

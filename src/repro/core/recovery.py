@@ -19,6 +19,7 @@ from repro.common.constants import ADDRESSES_PER_BLOCK, MAC_SIZE, MACS_PER_BLOCK
 from repro.common.errors import ConfigError, IntegrityError, RecoveryError
 from repro.core.chv import MAC_GROUP_DLM, MAC_GROUP_SLM, ChvLayout
 from repro.crypto.counters import DrainCounter
+from repro.crypto.primitives import MacDomain
 from repro.mem.nvm import NvmDevice
 from repro.secure.controller import SecureMemoryController
 from repro.stats.counters import SimStats
@@ -92,6 +93,7 @@ class HorusRecovery:
         address_block: bytes | None = None
         mac_block: bytes | None = None
         dlm_buffer: list[bytes] = []
+        dlm_pending: list[tuple[int, int, bytes]] = []
         writeback_queue: list[tuple[int, bytes]] = []
 
         for position in range(count):
@@ -104,7 +106,8 @@ class HorusRecovery:
                 group = rotation.mac_group(position // self.mac_group,
                                            self.mac_group)
                 mac_block = self._nvm.read(
-                    self._chv.mac_block_address(group), ReadKind.CHV)
+                    self._chv.mac_block_address(group, self.mac_group),
+                    ReadKind.CHV)
 
             slot = position % ADDRESSES_PER_BLOCK
             address = int.from_bytes(
@@ -115,11 +118,20 @@ class HorusRecovery:
                 ReadKind.CHV)
 
             computed = mac.block_mac(MacKind.VERIFY, ciphertext,
-                                     address, counter)
+                                     address, counter,
+                                     domain=MacDomain.CHV_DATA)
             if self._dlm:
+                # Verification of a DLM group is deferred to its second-level
+                # MAC, so nothing from the group is decrypted or restored
+                # until that MAC checks out — a corrupted vault block must
+                # never reach the hierarchy.
                 dlm_buffer.append(computed)
-                self._maybe_check_dlm_group(mac, mac_block, dlm_buffer,
-                                            position, count)
+                dlm_pending.append((address, counter, ciphertext))
+                if self._maybe_check_dlm_group(mac, mac_block, dlm_buffer,
+                                               position, count):
+                    for entry in dlm_pending:
+                        self._consume(layout, aes, writeback_queue, *entry)
+                    dlm_pending = []
                 if len(dlm_buffer) == MACS_PER_BLOCK:
                     dlm_buffer = []
             else:
@@ -128,16 +140,8 @@ class HorusRecovery:
                     raise IntegrityError(
                         f"CHV MAC mismatch at vault position {position} "
                         f"(original address {address:#x})", address)
-
-            plaintext = aes.decrypt(address, counter, ciphertext)
-            if self.mode == "writeback" and layout.classify(address) == "data":
-                # Option 2: replay as run-time writes, but only after the
-                # vaulted metadata-cache content is back (it arrives at the
-                # end of the vault, and the lazy tree is unverifiable
-                # without it).
-                writeback_queue.append((address, plaintext))
-            else:
-                self._restore(layout, address, plaintext)
+                self._consume(layout, aes, writeback_queue,
+                              address, counter, ciphertext)
 
         for address, plaintext in writeback_queue:
             self._controller.write(address, plaintext)
@@ -166,19 +170,38 @@ class HorusRecovery:
 
     def _maybe_check_dlm_group(self, mac, mac_block: bytes,
                                dlm_buffer: list[bytes], position: int,
-                               count: int) -> None:
-        """Verify a completed (or final partial) first-level MAC group."""
+                               count: int) -> bool:
+        """Verify a completed (or final partial) first-level MAC group.
+
+        Returns True when a check ran (and passed), so the caller knows the
+        group's pending blocks may now be consumed.
+        """
         group_done = len(dlm_buffer) == MACS_PER_BLOCK
         episode_done = position == count - 1
         if not group_done and not episode_done:
-            return
-        second = mac.digest_mac(MacKind.VERIFY, b"".join(dlm_buffer))
+            return False
+        second = mac.digest_mac(MacKind.VERIFY, b"".join(dlm_buffer),
+                                domain=MacDomain.CHV_LEVEL2)
         slot = (position % MAC_GROUP_DLM) // MACS_PER_BLOCK
         stored = mac_block[slot * MAC_SIZE:(slot + 1) * MAC_SIZE]
         if stored != second:
             raise IntegrityError(
                 f"CHV second-level MAC mismatch for group ending at vault "
                 f"position {position}")
+        return True
+
+    def _consume(self, layout, aes, writeback_queue: list[tuple[int, bytes]],
+                 address: int, counter: int, ciphertext: bytes) -> None:
+        """Decrypt and place one verified vault block."""
+        plaintext = aes.decrypt(address, counter, ciphertext)
+        if self.mode == "writeback" and layout.classify(address) == "data":
+            # Option 2: replay as run-time writes, but only after the
+            # vaulted metadata-cache content is back (it arrives at the
+            # end of the vault, and the lazy tree is unverifiable
+            # without it).
+            writeback_queue.append((address, plaintext))
+        else:
+            self._restore(layout, address, plaintext)
 
     def _restore(self, layout, address: int, plaintext: bytes) -> None:
         region = layout.classify(address)

@@ -8,6 +8,7 @@ and (b) an optional non-functional mode where values are not actually computed
 
 from repro.common.constants import CACHE_LINE_SIZE, MAC_SIZE
 from repro.crypto.primitives import (
+    MacDomain,
     compute_mac,
     decrypt_block,
     encrypt_block,
@@ -17,6 +18,9 @@ from repro.stats.counters import SimStats
 from repro.stats.events import AesKind, MacKind
 
 _PLACEHOLDER_MAC = bytes(MAC_SIZE)
+
+_BLOCK_DOMAINS = {MacKind.CHV_DATA: MacDomain.CHV_DATA}
+_DIGEST_DOMAINS = {MacKind.CHV_LEVEL2: MacDomain.CHV_LEVEL2}
 
 DEFAULT_AES_KEY = b"repro-horus-aes-key-0001"
 DEFAULT_MAC_KEY = b"repro-horus-mac-key-0001"
@@ -56,14 +60,24 @@ class MacEngine:
         self.functional = functional
 
     def block_mac(self, kind: MacKind, ciphertext: bytes | None,
-                  address: int, counter: int) -> bytes:
+                  address: int, counter: int,
+                  domain: MacDomain | None = None) -> bytes:
         """MAC over (ciphertext, address, counter): the BMT-style data MAC and
-        the Horus CHV MAC are both this shape."""
+        the Horus CHV MAC are both this shape.
+
+        The value is domain-separated: compute sites inherit the domain from
+        ``kind`` (``MacKind.CHV_DATA`` → the CHV domain, everything else the
+        run-time data domain); verify sites (``MacKind.VERIFY``) must pass
+        ``domain`` explicitly when checking a non-run-time MAC, so a MAC can
+        never verify outside the domain it was written for.
+        """
         self._stats.record_mac(kind)
         if not self.functional or ciphertext is None:
             return _PLACEHOLDER_MAC
+        if domain is None:
+            domain = _BLOCK_DOMAINS.get(kind, MacDomain.DATA)
         return compute_mac(self._key, ciphertext, int_field(address),
-                           int_field(counter, 16))
+                           int_field(counter, 16), domain=domain)
 
     def node_mac(self, kind: MacKind, content: bytes | None,
                  address: int) -> bytes:
@@ -71,14 +85,23 @@ class MacEngine:
         self._stats.record_mac(kind)
         if not self.functional or content is None:
             return _PLACEHOLDER_MAC
-        return compute_mac(self._key, content, int_field(address))
+        return compute_mac(self._key, content, int_field(address),
+                           domain=MacDomain.NODE)
 
-    def digest_mac(self, kind: MacKind, content: bytes | None) -> bytes:
-        """MAC over raw content (Horus-DLM second level, cache-tree levels)."""
+    def digest_mac(self, kind: MacKind, content: bytes | None,
+                   domain: MacDomain | None = None) -> bytes:
+        """MAC over raw content (Horus-DLM second level, cache-tree levels).
+
+        Domain-separated like :meth:`block_mac`: ``MacKind.CHV_LEVEL2``
+        implies the DLM second-level domain, everything else the metadata
+        node domain; verifiers of DLM MACs pass ``domain`` explicitly.
+        """
         self._stats.record_mac(kind)
         if not self.functional or content is None:
             return _PLACEHOLDER_MAC
-        return compute_mac(self._key, content)
+        if domain is None:
+            domain = _DIGEST_DOMAINS.get(kind, MacDomain.NODE)
+        return compute_mac(self._key, content, domain=domain)
 
     def verify_equal(self, expected: bytes, actual: bytes) -> bool:
         """Compare MACs; in non-functional mode everything verifies."""

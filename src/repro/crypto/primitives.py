@@ -9,11 +9,35 @@ engines in :mod:`repro.crypto.engine`.
 """
 
 import hashlib
+from enum import Enum, unique
 
 from repro.common.constants import CACHE_LINE_SIZE, MAC_SIZE
 
 PAD_DOMAIN = b"horus-pad"
 MAC_DOMAIN = b"horus-mac"
+
+
+@unique
+class MacDomain(Enum):
+    """Domain-separation tag mixed into every MAC.
+
+    Without it, a run-time data MAC and a CHV MAC over the same
+    (ciphertext, address, counter) are the same value, so an adversary can
+    splice one protection domain's MAC into another's and still verify.
+    The tags are fixed-width (4 bytes) so framing stays injective.
+    """
+
+    DATA = b"dat\0"
+    """Run-time BMT-style data MAC over (ciphertext, address, counter)."""
+
+    NODE = b"nod\0"
+    """Metadata digests: tree-node slots, cache-tree levels."""
+
+    CHV_DATA = b"chv1"
+    """Horus CHV first-level MAC over a vaulted block."""
+
+    CHV_LEVEL2 = b"chv2"
+    """Horus-DLM second-level MAC over 8 first-level MACs."""
 
 _BLOCK_MASK = (1 << (8 * CACHE_LINE_SIZE)) - 1
 
@@ -48,8 +72,13 @@ def decrypt_block(key: bytes, address: int, counter: int, ciphertext: bytes) -> 
     return xor_block(ciphertext, generate_pad(key, address, counter))
 
 
-def compute_mac(key: bytes, *parts: bytes) -> bytes:
+def compute_mac(key: bytes, *parts: bytes,
+                domain: MacDomain = MacDomain.NODE) -> bytes:
     """8 B keyed MAC over the concatenation of ``parts``.
+
+    ``domain`` separates the library's MAC uses cryptographically: equal
+    inputs under different domains yield unrelated values, so a MAC can
+    never verify outside the protection domain it was computed for.
 
     Callers are responsible for unambiguous framing: all library call sites
     pass fixed-width fields (addresses and counters as 8/16-byte integers,
@@ -57,6 +86,7 @@ def compute_mac(key: bytes, *parts: bytes) -> bytes:
     """
     h = hashlib.blake2b(key=key, digest_size=MAC_SIZE)
     h.update(MAC_DOMAIN)
+    h.update(domain.value)
     for part in parts:
         h.update(part)
     return h.digest()

@@ -19,6 +19,7 @@ from collections import deque
 from repro.common.constants import CACHE_LINE_SIZE
 from repro.common.errors import ConfigError, IntegrityError, RecoveryError
 from repro.crypto.counters import DrainCounter
+from repro.crypto.primitives import MacDomain
 from repro.epd.adr import AdrSecureSystem
 from repro.stats.events import MacKind, ReadKind, WriteKind
 
@@ -123,7 +124,8 @@ class DolosAdrSystem(AdrSecureSystem):
                 raise IntegrityError(
                     f"MSU staging entry address mismatch at {slot_base:#x}")
             self.controller.mac.block_mac(MacKind.VERIFY, ciphertext,
-                                          stored, counter)
+                                          stored, counter,
+                                          domain=MacDomain.CHV_DATA)
             plaintext = self.controller.aes.decrypt(stored, counter,
                                                     ciphertext)
             self.controller.write(stored, plaintext)

@@ -32,6 +32,7 @@ from collections.abc import Callable
 
 from repro.experiments import ablations
 from repro.experiments.adr_comparison import run as run_adr
+from repro.experiments.faults import run as run_faults
 from repro.experiments.availability import run as run_availability
 from repro.experiments.parallelism import run as run_parallelism
 from repro.experiments.runtime_overhead import run as run_runtime
@@ -76,6 +77,7 @@ EXPERIMENTS: dict[str, Callable[[DrainSuite], ExperimentResult]] = {
     "ablation-runtime": run_runtime,
     "ablation-availability": run_availability,
     "ablation-scheduler": run_scheduling,
+    "ablation-faults": run_faults,
 }
 
 _ALL_SCHEMES = ("nosec", "base-lu", "base-eu", "horus-slm", "horus-dlm")
@@ -104,6 +106,7 @@ EXPERIMENT_EPISODES: dict[str, tuple[tuple[str, int | None], ...]] = {
     "ablation-runtime": (),
     "ablation-availability": (),
     "ablation-scheduler": (),
+    "ablation-faults": (),
 }
 
 

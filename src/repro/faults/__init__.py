@@ -1,0 +1,21 @@
+"""Fault injection and crash-consistency harness.
+
+:mod:`repro.faults.plan` defines the fault classes (power cut, torn write,
+dropped write, bit flip) and the :class:`~repro.faults.plan.FaultPlan` that
+applies them to the NVM write path; :mod:`repro.faults.matrix` runs the
+scheme × fault crash matrix and classifies each cell as recovered-exact,
+detected, lost-unprotected, or silent-corruption.
+"""
+
+from repro.faults.plan import (BitFlip, DroppedWrite, Fault, FaultEvent,
+                               FaultPlan, PowerCut, TornWrite)
+
+__all__ = [
+    "BitFlip",
+    "DroppedWrite",
+    "Fault",
+    "FaultEvent",
+    "FaultPlan",
+    "PowerCut",
+    "TornWrite",
+]

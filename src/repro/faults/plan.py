@@ -1,0 +1,216 @@
+"""Fault injection plans for the NVM write path.
+
+A :class:`FaultPlan` models what the medium actually persists when the
+episode goes wrong: the hold-up source dying after the N-th write
+(:class:`PowerCut` — the generalization of the old ``NvmDevice.write_budget``
+hook), a torn write persisting only a prefix of a 64 B block
+(:class:`TornWrite`), a write the DIMM acknowledges but never commits
+(:class:`DroppedWrite`), and a bit flip at a chosen address or write index
+(:class:`BitFlip`).
+
+The discipline matches :mod:`repro.attacks`: faults filter what reaches the
+*backend* and never touch the accounting.  The controller issued every
+request, so stats, the wear tracker, and the request trace all record the
+attempt; :attr:`NvmDevice.lost_writes` and :attr:`FaultPlan.events` flag
+which attempts the cells never saw (see Yao & Venkataramani on
+persistence-boundary attacks — the disagreement between a controller's view
+and the medium's view is exactly where NVM systems break).
+"""
+
+from dataclasses import dataclass, field
+
+from repro.common.constants import CACHE_LINE_SIZE
+from repro.common.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault firing: which write it hit and what happened to it."""
+
+    write_index: int
+    address: int
+    fault: str
+    effect: str
+    """``"lost"`` (nothing persisted) or ``"corrupted"`` (mutated bytes
+    persisted)."""
+
+
+class Fault:
+    """One injectable fault; subclasses override :meth:`apply`.
+
+    ``apply`` receives the episode-relative write index, the target address,
+    the bytes the controller issued, and the block's current medium content,
+    and returns ``(persisted, fired)`` where ``persisted`` is the bytes that
+    actually reach the cells (``None`` = the write is lost).
+    """
+
+    name = "fault"
+
+    def apply(self, index: int, address: int, data: bytes,
+              old: bytes) -> tuple[bytes | None, bool]:
+        raise NotImplementedError
+
+    def finish(self, backend) -> FaultEvent | None:
+        """Called when power is restored; lets address-triggered faults that
+        never saw their target write corrupt the medium directly (content
+        rot while the system is off).  Returns the event if one fired."""
+        return None
+
+
+@dataclass
+class PowerCut(Fault):
+    """The hold-up source dies: writes from index ``after_writes`` on are
+    lost in flight (the old ``write_budget`` semantics)."""
+
+    after_writes: int
+    name: str = field(default="power-cut", init=False)
+
+    def __post_init__(self) -> None:
+        if self.after_writes < 0:
+            raise ConfigError("power-cut write budget cannot be negative")
+
+    def apply(self, index, address, data, old):
+        if index >= self.after_writes:
+            return None, True
+        return data, False
+
+
+@dataclass
+class DroppedWrite(Fault):
+    """The ``at_write``-th write is acknowledged but never committed; every
+    other write persists normally (a failed internal PCM program)."""
+
+    at_write: int
+    name: str = field(default="dropped-write", init=False)
+
+    def __post_init__(self) -> None:
+        if self.at_write < 0:
+            raise ConfigError("dropped-write index cannot be negative")
+
+    def apply(self, index, address, data, old):
+        if index == self.at_write:
+            return None, True
+        return data, False
+
+
+@dataclass
+class TornWrite(Fault):
+    """The ``at_write``-th write persists only its first ``persisted_bytes``
+    bytes; the tail keeps the block's old content (power failing between the
+    device's internal sub-block programs)."""
+
+    at_write: int
+    persisted_bytes: int = CACHE_LINE_SIZE // 2
+    name: str = field(default="torn-write", init=False)
+
+    def __post_init__(self) -> None:
+        if self.at_write < 0:
+            raise ConfigError("torn-write index cannot be negative")
+        if not 0 <= self.persisted_bytes <= CACHE_LINE_SIZE:
+            raise ConfigError(
+                f"torn prefix must be 0..{CACHE_LINE_SIZE} bytes, "
+                f"got {self.persisted_bytes}")
+
+    def apply(self, index, address, data, old):
+        if index == self.at_write:
+            k = self.persisted_bytes
+            return data[:k] + old[k:], True
+        return data, False
+
+
+@dataclass
+class BitFlip(Fault):
+    """Flip bits in one byte of a block, either on the ``at_write``-th write
+    or on the first write to ``address``; if an address-triggered flip never
+    sees its target during the episode, :meth:`finish` applies it to the
+    medium directly when power returns (bit rot while the system is off)."""
+
+    byte_offset: int = 0
+    xor_mask: int = 0xFF
+    address: int | None = None
+    at_write: int | None = None
+    name: str = field(default="bit-flip", init=False)
+    _fired: bool = field(default=False, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if (self.address is None) == (self.at_write is None):
+            raise ConfigError(
+                "bit-flip needs exactly one trigger: address= or at_write=")
+        if not 0 <= self.byte_offset < CACHE_LINE_SIZE:
+            raise ConfigError(f"byte offset {self.byte_offset} out of block")
+        if not self.xor_mask & 0xFF:
+            raise ConfigError("bit-flip mask must flip at least one bit")
+
+    def apply(self, index, address, data, old):
+        if self._fired:
+            return data, False
+        if self.at_write is not None and index != self.at_write:
+            return data, False
+        if self.address is not None and address != self.address:
+            return data, False
+        self._fired = True
+        mutated = bytearray(data)
+        mutated[self.byte_offset] ^= self.xor_mask & 0xFF
+        return bytes(mutated), True
+
+    def finish(self, backend):
+        if self._fired or self.address is None:
+            return None
+        self._fired = True
+        mutated = bytearray(backend.read_block(self.address))
+        mutated[self.byte_offset] ^= self.xor_mask & 0xFF
+        backend.corrupt_block(self.address, bytes(mutated))
+        return FaultEvent(-1, self.address, self.name, "corrupted")
+
+
+class FaultPlan:
+    """A set of faults applied, in order, to every write of an episode.
+
+    Install with ``nvm.fault_plan = FaultPlan([...])``; clear (power
+    restored) with ``nvm.restore_power()``, which also gives unfired
+    address-triggered faults their :meth:`Fault.finish` shot at the medium.
+    """
+
+    def __init__(self, faults=()):
+        self._faults: list[Fault] = list(faults)
+        for fault in self._faults:
+            if not isinstance(fault, Fault):
+                raise ConfigError(f"not a Fault: {fault!r}")
+        self.writes_seen = 0
+        self.events: list[FaultEvent] = []
+
+    @property
+    def faults(self) -> tuple[Fault, ...]:
+        return tuple(self._faults)
+
+    def filter_write(self, address: int, data: bytes,
+                     old: bytes) -> bytes | None:
+        """Bytes the medium persists for this write (``None`` = lost)."""
+        index = self.writes_seen
+        self.writes_seen += 1
+        persisted: bytes | None = data
+        for fault in self._faults:
+            persisted, fired = fault.apply(index, address, persisted, old)
+            if fired:
+                effect = "lost" if persisted is None else "corrupted"
+                self.events.append(
+                    FaultEvent(index, address, fault.name, effect))
+            if persisted is None:
+                break
+        return persisted
+
+    def finish(self, backend) -> None:
+        """Power restored: apply unfired off-power faults to the medium."""
+        for fault in self._faults:
+            event = fault.finish(backend)
+            if event is not None:
+                self.events.append(event)
+
+    def remaining_budget(self) -> int | None:
+        """Writes left before the first :class:`PowerCut` kills the medium
+        (``None`` when the plan has no power cut) — the ``write_budget``
+        compatibility view."""
+        for fault in self._faults:
+            if isinstance(fault, PowerCut):
+                return max(0, fault.after_writes - self.writes_seen)
+        return None

@@ -4,10 +4,14 @@ Every read and write goes through :class:`NvmDevice`, which records the
 request in a :class:`~repro.stats.counters.SimStats` under the caller-supplied
 kind.  The device itself has no notion of security — it is the untrusted side
 of the paper's threat model, which is why the adversary in
-:mod:`repro.attacks` manipulates the underlying backend directly.
+:mod:`repro.attacks` manipulates the underlying backend directly, and why
+fault injection (:mod:`repro.faults`) sits between the accounting and the
+medium: the controller's view of a write and the cells' view can disagree,
+and that disagreement is exactly what recovery must survive.
 """
 
 from repro.common.errors import AddressError
+from repro.faults.plan import FaultPlan, PowerCut
 from repro.mem.backend import SparseMemory
 from repro.stats.counters import SimStats
 from repro.stats.events import ReadKind, WriteKind
@@ -24,12 +28,16 @@ class NvmDevice:
         every accounted write also bumps the block's wear counter."""
         self.trace: list[tuple[int, bool]] | None = None
         """Optional request trace of (address, is_write) pairs; enable by
-        assigning a list.  Consumed by the banked-memory queueing model."""
-        self.write_budget: int | None = None
-        """Fault injection: when set, only this many further writes reach
-        the medium — later writes are silently lost, modelling a hold-up
-        source that dies mid-drain.  Accounting still records the attempt
-        (the controller issued it; the cells never saw it)."""
+        assigning a list.  Consumed by the banked-memory queueing model.
+        The trace records *requests*, so writes a fault plan loses still
+        appear here — their indices are in :attr:`lost_writes`."""
+        self.fault_plan: FaultPlan | None = None
+        """Optional :class:`~repro.faults.plan.FaultPlan` filtering what the
+        medium persists.  Accounting (stats, wear, trace) always records the
+        attempt — the controller issued it; whether the cells saw it is the
+        fault plan's business."""
+        self.lost_writes: list[tuple[int, WriteKind]] = []
+        """(address, kind) of every write a fault plan lost in flight."""
 
     @property
     def size(self) -> int:
@@ -39,6 +47,33 @@ class NvmDevice:
     def backend(self) -> SparseMemory:
         """The raw store — used by recovery checks and by the adversary."""
         return self._backend
+
+    @property
+    def write_budget(self) -> int | None:
+        """Fault injection shorthand: when set, only this many further
+        writes reach the medium — later writes are lost in flight,
+        modelling a hold-up source that dies mid-drain.  Backed by a
+        :class:`~repro.faults.plan.PowerCut` fault plan; assign a plan to
+        :attr:`fault_plan` directly for richer fault classes."""
+        if self.fault_plan is None:
+            return None
+        return self.fault_plan.remaining_budget()
+
+    @write_budget.setter
+    def write_budget(self, budget: int | None) -> None:
+        if budget is None:
+            self.fault_plan = None
+        else:
+            self.fault_plan = FaultPlan([PowerCut(after_writes=budget)])
+
+    def restore_power(self) -> FaultPlan | None:
+        """Detach the fault plan (power restored / fault window over),
+        giving unfired off-power faults their shot at the medium first.
+        Returns the detached plan so callers can inspect its events."""
+        plan, self.fault_plan = self.fault_plan, None
+        if plan is not None:
+            plan.finish(self._backend)
+        return plan
 
     def read(self, address: int, kind: ReadKind) -> bytes:
         """Read one 64 B block, accounted under ``kind``."""
@@ -51,15 +86,24 @@ class NvmDevice:
         return data
 
     def write(self, address: int, data: bytes, kind: WriteKind) -> None:
-        """Write one 64 B block, accounted under ``kind``."""
+        """Write one 64 B block, accounted under ``kind``.
+
+        The accounting channels (stats, wear, trace) record every attempt
+        identically whether or not a fault plan loses or corrupts it: the
+        controller issued the request and the DIMM drew the energy, so the
+        scheduler/banking views must agree with the counters.  Lost writes
+        are additionally flagged in :attr:`lost_writes`.
+        """
         if not isinstance(kind, WriteKind):
             raise AddressError(f"write kind must be a WriteKind, got {kind!r}")
-        if self.write_budget is not None:
-            if self.write_budget <= 0:
-                self.stats.record_write(kind)
-                return  # power died: the write is lost in flight
-            self.write_budget -= 1
-        self._backend.write_block(address, data)
+        persisted: bytes | None = data
+        if self.fault_plan is not None:
+            old = self._backend.read_block(address)
+            persisted = self.fault_plan.filter_write(address, data, old)
+        if persisted is not None:
+            self._backend.write_block(address, persisted)
+        else:
+            self.lost_writes.append((address, kind))
         self.stats.record_write(kind)
         if self.wear is not None:
             self.wear.record_write(address)

@@ -12,7 +12,7 @@ and its MAC, so a 32 GB address space needs no materialization.
 
 from repro.common.constants import CACHE_LINE_SIZE, MAC_SIZE, MACS_PER_BLOCK
 from repro.common.errors import AddressError
-from repro.crypto.primitives import compute_mac
+from repro.crypto.primitives import MacDomain, compute_mac
 
 
 class TreeNode:
@@ -73,7 +73,9 @@ class DefaultNodes:
 
     @staticmethod
     def _digest(key: bytes, content: bytes) -> bytes:
-        return compute_mac(key, content)
+        # Tree-node domain: defaults must be interchangeable with the MACs
+        # the engine computes for live nodes, and with nothing else.
+        return compute_mac(key, content, domain=MacDomain.NODE)
 
     def content(self, level: int) -> bytes:
         """Default 64 B content of a node at ``level`` (0 = counter block)."""

@@ -36,20 +36,26 @@ class ShadowRecovery:
             for i in range(count)
         ]
         address_blocks = -(-count // 8)
+        address_payloads: list[bytes] = []
         addresses: list[int] = []
         for i in range(address_blocks):
             raw = controller.nvm.read(shadow.block_at(count + i),
                                       ReadKind.SHADOW)
+            address_payloads.append(raw)
             for j in range(8):
                 addresses.append(
                     int.from_bytes(raw[j * 8:(j + 1) * 8], "little"))
         addresses = addresses[:count]
 
+        # The address payload blocks are verified leaves alongside the
+        # contents (see LazyUpdateScheme.flush_metadata): a tampered or torn
+        # address block must fail verification, not re-home a line.
         arity = controller.layout.config.security.tree_arity
-        num_macs = count + sum(tree_level_sizes(count, arity))
+        num_leaves = count + address_blocks
+        num_macs = num_leaves + sum(tree_level_sizes(num_leaves, arity))
         controller.stats.record_mac(MacKind.CACHE_TREE, num_macs)
         if controller.functional:
-            root = InMemoryMerkleTree(contents, arity).root
+            root = InMemoryMerkleTree(contents + address_payloads, arity).root
             if root != controller.cache_tree_root:
                 raise IntegrityError(
                     "metadata-cache shadow image failed verification")

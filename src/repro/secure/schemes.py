@@ -77,20 +77,36 @@ class LazyUpdateScheme(UpdateScheme):
 
     def flush_metadata(self, controller) -> None:
         """Hash the metadata-cache content with a small eager tree and dump
-        it (content + addresses) to the reserved shadow region."""
+        it (content + addresses) to the reserved shadow region.
+
+        The address payload blocks are tree leaves too: the address is what
+        tells recovery *where* a line belongs, so an unauthenticated address
+        block would let a crash (or adversary) silently re-home restored
+        metadata.
+        """
         lines = [line for cache in controller.metadata_caches
                  for line in cache.lines()]
         if not lines:
             controller.cache_tree_root = None
             return
 
+        # One 64 B block of 8 original addresses per 8 dumped lines, so
+        # recovery can put the content back where it belongs.
+        address_payloads = []
+        for start in range(0, len(lines), 8):
+            group = lines[start:start + 8]
+            payload = b"".join(line.address.to_bytes(8, "little")
+                               for line in group)
+            address_payloads.append(payload.ljust(64, b"\0"))
+
         arity = controller.layout.config.security.tree_arity
-        num_macs = len(lines) + sum(tree_level_sizes(len(lines), arity))
+        num_leaves = len(lines) + len(address_payloads)
+        num_macs = num_leaves + sum(tree_level_sizes(num_leaves, arity))
         controller.stats.record_mac(MacKind.CACHE_TREE, num_macs)
         if controller.functional:
             contents = [controller.line_bytes(line) for line in lines]
             controller.cache_tree_root = InMemoryMerkleTree(
-                contents, arity).root
+                contents + address_payloads, arity).root
         else:
             controller.cache_tree_root = b"\0" * 8
 
@@ -101,13 +117,7 @@ class LazyUpdateScheme(UpdateScheme):
                                  controller.line_bytes(line),
                                  WriteKind.SHADOW)
             index += 1
-        # One 64 B block of 8 original addresses per 8 dumped lines, so
-        # recovery can put the content back where it belongs.
-        for start in range(0, len(lines), 8):
-            group = lines[start:start + 8]
-            payload = b"".join(line.address.to_bytes(8, "little")
-                               for line in group)
-            payload = payload.ljust(64, b"\0")
+        for payload in address_payloads:
             controller.nvm.write(shadow.block_at(index), payload,
                                  WriteKind.SHADOW)
             index += 1

@@ -1,6 +1,7 @@
 """Timed crypto engines: accounting and functional behaviour."""
 
 from repro.crypto.engine import AesEngine, MacEngine
+from repro.crypto.primitives import MacDomain
 from repro.stats.counters import SimStats
 from repro.stats.events import AesKind, MacKind
 
@@ -51,12 +52,30 @@ class TestMacEngine:
         assert engine.block_mac(MacKind.CHV_DATA, bytes(64), 64, 1) != base
         assert engine.block_mac(MacKind.CHV_DATA, bytes(64), 0, 2) != base
 
-    def test_kind_does_not_change_the_mac_value(self):
-        """The accounting kind is bookkeeping, not a crypto domain: drain
-        computes CHV_DATA MACs that recovery recomputes as VERIFY."""
+    def test_domains_separate_equal_inputs(self):
+        """A CHV MAC and a run-time data MAC over the same inputs must be
+        different values, or one domain's MACs could be spliced into the
+        other's and still verify."""
+        engine = MacEngine(SimStats())
+        runtime = engine.block_mac(MacKind.DATA_PROTECT, bytes(64), 0, 1)
+        chv = engine.block_mac(MacKind.CHV_DATA, bytes(64), 0, 1)
+        assert runtime != chv
+
+    def test_verify_kind_recomputes_per_domain(self):
+        """The accounting kind stays bookkeeping: recovery recomputes drain's
+        CHV_DATA MACs as VERIFY against the explicit CHV domain, and run-time
+        reads recompute DATA_PROTECT MACs as plain VERIFY."""
         engine = MacEngine(SimStats())
         assert engine.block_mac(MacKind.CHV_DATA, bytes(64), 0, 1) == \
+            engine.block_mac(MacKind.VERIFY, bytes(64), 0, 1,
+                             domain=MacDomain.CHV_DATA)
+        assert engine.block_mac(MacKind.DATA_PROTECT, bytes(64), 0, 1) == \
             engine.block_mac(MacKind.VERIFY, bytes(64), 0, 1)
+        assert engine.digest_mac(MacKind.CHV_LEVEL2, bytes(64)) == \
+            engine.digest_mac(MacKind.VERIFY, bytes(64),
+                              domain=MacDomain.CHV_LEVEL2)
+        assert engine.digest_mac(MacKind.TREE_UPDATE, bytes(64)) == \
+            engine.digest_mac(MacKind.VERIFY, bytes(64))
 
     def test_node_and_digest_macs_differ_in_binding(self):
         engine = MacEngine(SimStats())

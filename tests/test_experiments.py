@@ -91,7 +91,7 @@ class TestRunner:
                     "ablation-coalescing", "ablation-adr-vs-epd",
                     "ablation-wear", "ablation-parallelism",
                     "ablation-runtime", "ablation-availability",
-                    "ablation-scheduler", "headline"}
+                    "ablation-scheduler", "ablation-faults", "headline"}
         assert expected <= set(EXPERIMENTS)
 
     def test_run_experiments_subset(self):
