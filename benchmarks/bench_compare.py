@@ -1,0 +1,95 @@
+"""Perf-regression gate: compare a BENCH_pr.json against the baseline.
+
+Fails (exit 1) when any metric regressed by more than the threshold
+(default 15%) relative to the committed baseline:
+
+* ``time`` metrics compare *normalized* wall time (seconds divided by the
+  calibration workload, see :mod:`benchmarks.bench_runner`) — current may
+  not exceed baseline by more than the threshold;
+* ``ratio`` metrics (batched-vs-scalar speedups) — current may not fall
+  below baseline by more than the threshold.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_compare.py \
+        benchmarks/BENCH_baseline.json BENCH_pr.json [--threshold 0.15]
+
+Metrics present in only one file are reported but never fail the gate, so
+adding a new benchmark does not require a lockstep baseline update.
+"""
+
+import argparse
+import json
+import sys
+
+
+def _load(path: str) -> dict:
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def compare(baseline: dict, current: dict,
+            threshold: float) -> tuple[list[str], list[str]]:
+    """Return (report lines, failure lines)."""
+    lines: list[str] = []
+    failures: list[str] = []
+    base_metrics = baseline.get("metrics", {})
+    cur_metrics = current.get("metrics", {})
+
+    for name in sorted(set(base_metrics) | set(cur_metrics)):
+        base = base_metrics.get(name)
+        cur = cur_metrics.get(name)
+        if base is None or cur is None:
+            missing = "baseline" if base is None else "current"
+            lines.append(f"SKIP {name}: missing from the {missing} run")
+            continue
+        if cur["kind"] == "ratio":
+            base_v, cur_v = base["value"], cur["value"]
+            change = (cur_v - base_v) / base_v
+            verdict = "FAIL" if change < -threshold else "ok"
+            lines.append(f"{verdict:4} {name}: {base_v:.2f}x -> {cur_v:.2f}x "
+                         f"({change:+.1%})")
+            if verdict == "FAIL":
+                failures.append(
+                    f"{name} speedup dropped {-change:.1%} "
+                    f"(limit {threshold:.0%})")
+        else:
+            base_v, cur_v = base["normalized"], cur["normalized"]
+            change = (cur_v - base_v) / base_v
+            verdict = "FAIL" if change > threshold else "ok"
+            lines.append(f"{verdict:4} {name}: normalized {base_v:.3f} -> "
+                         f"{cur_v:.3f} ({change:+.1%})")
+            if verdict == "FAIL":
+                failures.append(
+                    f"{name} slowed down {change:.1%} "
+                    f"(limit {threshold:.0%})")
+    return lines, failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail when benchmarks regressed past the threshold.")
+    parser.add_argument("baseline", help="committed BENCH_baseline.json")
+    parser.add_argument("current", help="freshly produced BENCH_pr.json")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="allowed fractional regression (default 0.15)")
+    args = parser.parse_args(argv)
+
+    baseline = _load(args.baseline)
+    current = _load(args.current)
+    lines, failures = compare(baseline, current, args.threshold)
+
+    for line in lines:
+        print(line)
+    if failures:
+        print(f"\nREGRESSION: {len(failures)} metric(s) past the "
+              f"{args.threshold:.0%} gate:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"\nall metrics within {args.threshold:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

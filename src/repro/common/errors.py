@@ -53,3 +53,13 @@ class RecoveryError(ReproError):
 
 class DrainStateError(ReproError):
     """A drain engine was used out of order (e.g. recover before drain)."""
+
+
+class OracleDivergenceError(ReproError):
+    """The scalar and batched execution paths disagreed on an episode.
+
+    Raised by :mod:`repro.core.oracle` when the differential oracle finds
+    any observable difference — NVM image, operation counters, report
+    fields, or raised exceptions — between the two executions of the same
+    seeded episode.  This always indicates a bug in the batched hot path
+    (or, less likely, the scalar reference)."""

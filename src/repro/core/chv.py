@@ -8,6 +8,7 @@ placement is positional — block ``i`` of the episode goes to data slot ``i``
 alone, which is what removes every metadata fetch from the drain path.
 """
 
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 from repro.common.constants import (
@@ -81,6 +82,20 @@ class ChvLayout:
         self._check_group(group, ADDRESSES_PER_BLOCK, "address")
         return self._address_base + group * CACHE_LINE_SIZE
 
+    def data_addresses(self, positions: Sequence[int]) -> list[int]:
+        """NVM addresses for a whole episode's data slots in one pass.
+
+        Equivalent to :meth:`data_address` per element; the bounds check
+        runs over the batch's extremes first so the common case pays one
+        comparison instead of one per block.
+        """
+        if positions and not (0 <= min(positions)
+                              and max(positions) < self.capacity):
+            for position in positions:
+                self._check_position(position)
+        base = self._data_base
+        return [base + position * CACHE_LINE_SIZE for position in positions]
+
     def mac_block_address(self, group: int,
                           group_size: int = MACS_PER_BLOCK) -> int:
         """NVM address of MAC block ``group``.
@@ -131,6 +146,18 @@ class VaultRotation:
 
     def data_slot(self, position: int) -> int:
         return (position + self.offset) % self.capacity
+
+    def data_slots(self, count: int) -> list[int]:
+        """Slots for positions ``0..count-1`` (batched :meth:`data_slot`).
+
+        With no rotation this is the identity — the batch path skips the
+        per-position modulo entirely.
+        """
+        if not self.offset:
+            return list(range(count))
+        capacity = self.capacity
+        offset = self.offset
+        return [(position + offset) % capacity for position in range(count)]
 
     def address_group(self, group: int) -> int:
         groups = self.capacity // ADDRESSES_PER_BLOCK

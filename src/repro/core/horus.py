@@ -13,6 +13,19 @@ contents:
   extra second-level MAC per 8 lines (the 1.125x of Fig. 13);
 * after the hierarchy — the metadata-cache content is vaulted the same way
   (negligible; Fig. 12's rightmost component).
+
+The engine has two executions of the same episode semantics:
+
+* the **scalar path** (``batched=False`` or ``REPRO_BATCH=0``) walks the
+  hierarchy block by block through the scalar crypto primitives — the
+  reference implementation, kept verbatim;
+* the **batched path** (default) collects the episode's work list once,
+  reserves the whole counter range, runs the crypto through
+  :mod:`repro.crypto.batch`, and issues every NVM write through the grouped
+  device path — byte-identical output, identical operation counters,
+  identical write order (so fault plans lose exactly the same writes), at a
+  fraction of the interpreter overhead.  The differential oracle
+  (:mod:`repro.core.oracle`) holds the two paths to each other.
 """
 
 from repro.cache.hierarchy import CacheHierarchy
@@ -28,6 +41,7 @@ from repro.core.chv import (
     ChvLayout,
     VaultRotation,
 )
+from repro.crypto.batch import batching_enabled, counter_frames, split_blocks
 from repro.crypto.counters import DrainCounter
 from repro.crypto.engine import AesEngine, MacEngine
 from repro.epd.drain import DrainEngine
@@ -45,7 +59,7 @@ class HorusDrainEngine(DrainEngine):
     def __init__(self, controller: SecureMemoryController, nvm: NvmDevice,
                  chv: ChvLayout, drain_counter: DrainCounter,
                  timing: TimingModel, double_level_mac: bool = False,
-                 rotate_vault: bool = False):
+                 rotate_vault: bool = False, batched: bool | None = None):
         super().__init__(controller.stats, timing)
         self._controller = controller
         self._nvm = nvm
@@ -53,6 +67,7 @@ class HorusDrainEngine(DrainEngine):
         self._dc = drain_counter
         self._dlm = double_level_mac
         self.rotate_vault = rotate_vault
+        self.batched = batching_enabled(batched)
         self._rotation = VaultRotation.for_episode(chv, 0, False)
         self.name = "horus-dlm" if double_level_mac else "horus-slm"
         # Horus reuses the run-time AES/MAC engines during draining
@@ -70,6 +85,157 @@ class HorusDrainEngine(DrainEngine):
             self._chv, self._dc.value, self.rotate_vault,
             group_align=self.mac_group)
         self._dc.begin_episode()
+        if self.batched:
+            return self._run_batched(hierarchy, seed)
+        return self._run_scalar(hierarchy, seed)
+
+    # ------------------------------------------------------------------
+    # Batched path
+    # ------------------------------------------------------------------
+
+    def _run_batched(self, hierarchy: CacheHierarchy,
+                     seed: int | None) -> tuple[int, int]:
+        lines = list(hierarchy.drain_lines(seed))
+        addresses = [line.address for line in lines]
+        payloads: list[bytes | None] = [line.data for line in lines]
+        flushed = len(lines)
+        kinds = [WriteKind.CHV_DATA] * flushed
+
+        metadata = 0
+        controller = self._controller
+        for cache in controller.metadata_caches:
+            for meta_line in cache.lines():
+                addresses.append(meta_line.address)
+                payloads.append(controller.line_bytes(meta_line))
+                kinds.append(WriteKind.CHV_METADATA)
+                metadata += 1
+
+        total = len(addresses)
+        count = min(total, self._chv.capacity)
+        if count < total:
+            # Mirror the scalar path exactly: the first `capacity` blocks
+            # are fully vaulted (capacity is group-aligned, so no partial
+            # registers remain), then the episode aborts.
+            del addresses[count:], payloads[count:], kinds[count:]
+        self._vault_batch(addresses, payloads, kinds)
+        if count < total:
+            raise ConfigError("CHV overflow: episode exceeds vault capacity")
+        return flushed, metadata
+
+    def _vault_batch(self, addresses: list[int], payloads: list,
+                     kinds: list[WriteKind]) -> None:
+        """Crypto, coalescing, and the single grouped NVM issue."""
+        count = len(addresses)
+        if not count:
+            # An empty episode records nothing, exactly like the scalar
+            # loop that never runs.
+            return
+        chv = self._chv
+        rotation = self._rotation
+        start = self._dc.take(count)
+        counters = range(start, start + count)
+        frames = counter_frames(addresses, counters)
+
+        plaintext = None
+        if count and payloads[0] is not None:
+            plaintext = b"".join(payloads)
+        ciphertext = self._aes.encrypt_batch(addresses, counters, plaintext,
+                                             frames)
+        macs = self._mac.block_mac_batch(
+            MacKind.CHV_DATA, ciphertext, addresses, counters, frames=frames)
+        if ciphertext is None:
+            data_payloads: list[bytes] = [_ZERO_BLOCK] * count
+        else:
+            data_payloads = split_blocks(ciphertext)
+
+        level2: list[bytes] = []
+        if self._dlm and count:
+            groups = [b"".join(macs[i:i + MACS_PER_BLOCK])
+                      for i in range(0, count, MACS_PER_BLOCK)]
+            level2 = self._mac.digest_mac_batch(
+                MacKind.CHV_LEVEL2, groups, len(groups))
+
+        data_addresses = chv.data_addresses(rotation.data_slots(count))
+        data_writes = list(zip(data_addresses, data_payloads, kinds))
+        writes: list[tuple[int, bytes, WriteKind]] = []
+        extend = writes.extend
+        append = writes.append
+        full_groups = count // ADDRESSES_PER_BLOCK
+        # Interleave per coalescing group, preserving the scalar write
+        # order: 8 data writes, the group's address block, then (SLM) its
+        # MAC block or (DLM) a second-level block after every 8th group.
+        for g in range(full_groups):
+            lo = g * ADDRESSES_PER_BLOCK
+            hi = lo + ADDRESSES_PER_BLOCK
+            extend(data_writes[lo:hi])
+            append(self._address_block(addresses, lo, hi))
+            if self._dlm:
+                if hi % MAC_GROUP_DLM == 0:
+                    group = hi // MAC_GROUP_DLM - 1
+                    append(self._mac_block(
+                        level2, group * MACS_PER_BLOCK,
+                        (group + 1) * MACS_PER_BLOCK, group))
+            else:
+                append(self._mac_block(macs, lo, hi, g))
+
+        # Partial coalescing registers flush at episode end, address block
+        # first — the scalar _finalize order.
+        if count % ADDRESSES_PER_BLOCK:
+            extend(data_writes[full_groups * ADDRESSES_PER_BLOCK:])
+            append(self._address_block(
+                addresses, full_groups * ADDRESSES_PER_BLOCK, count))
+        if self._dlm:
+            full_blocks = count // MAC_GROUP_DLM
+            if len(level2) > full_blocks * MACS_PER_BLOCK:
+                append(self._mac_block(
+                    level2, full_blocks * MACS_PER_BLOCK, len(level2),
+                    full_blocks))
+        elif count % MACS_PER_BLOCK:
+            append(self._mac_block(
+                macs, count - count % MACS_PER_BLOCK, count,
+                count // MACS_PER_BLOCK))
+
+        # The batch's composition is known in closed form (kinds is a
+        # CHV_DATA prefix followed by a CHV_METADATA suffix); zero-count
+        # kinds are omitted so the folded stats update touches exactly the
+        # counters the scalar path would.
+        kind_counts = {}
+        data_count = kinds.count(WriteKind.CHV_DATA)
+        if data_count:
+            kind_counts[WriteKind.CHV_DATA] = data_count
+        if count > data_count:
+            kind_counts[WriteKind.CHV_METADATA] = count - data_count
+        if count:
+            kind_counts[WriteKind.CHV_ADDRESS] = \
+                -(-count // ADDRESSES_PER_BLOCK)
+            kind_counts[WriteKind.CHV_MAC] = -(-count // self.mac_group)
+        self._nvm.write_batch(writes, kind_counts)
+
+    def _address_block(self, addresses: list[int], lo: int,
+                       hi: int) -> tuple[int, bytes, WriteKind]:
+        payload = b"".join(address.to_bytes(8, "little")
+                           for address in addresses[lo:hi])
+        if hi - lo < ADDRESSES_PER_BLOCK:
+            payload = payload.ljust(CACHE_LINE_SIZE, b"\0")
+        group = self._rotation.address_group(lo // ADDRESSES_PER_BLOCK)
+        return (self._chv.address_block_address(group), payload,
+                WriteKind.CHV_ADDRESS)
+
+    def _mac_block(self, macs: list[bytes], lo: int, hi: int,
+                   group: int) -> tuple[int, bytes, WriteKind]:
+        payload = b"".join(macs[lo:hi])
+        if len(payload) < CACHE_LINE_SIZE:
+            payload = payload.ljust(CACHE_LINE_SIZE, b"\0")
+        rotated = self._rotation.mac_group(group, self.mac_group)
+        return (self._chv.mac_block_address(rotated, self.mac_group),
+                payload, WriteKind.CHV_MAC)
+
+    # ------------------------------------------------------------------
+    # Scalar reference path
+    # ------------------------------------------------------------------
+
+    def _run_scalar(self, hierarchy: CacheHierarchy,
+                    seed: int | None) -> tuple[int, int]:
         state = _EpisodeState()
 
         flushed = 0
@@ -89,8 +255,6 @@ class HorusDrainEngine(DrainEngine):
 
         self._finalize(state)
         return flushed, metadata
-
-    # ------------------------------------------------------------------
 
     def _vault_block(self, state: "_EpisodeState", address: int,
                      data: bytes | None, kind: WriteKind) -> None:

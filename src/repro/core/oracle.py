@@ -1,0 +1,164 @@
+"""The differential oracle: scalar vs batched execution, held equal.
+
+The batched hot paths (:mod:`repro.crypto.batch`, the grouped NVM issue, the
+batched drain/recovery loops) promise *observable equivalence* with the
+scalar reference: same NVM image, same operation counters, same report
+fields, same exceptions, same writes lost to the same faults.  The oracle
+enforces that promise at run time by executing the same seeded episode twice
+— once with ``batched=True``, once with ``batched=False`` — and comparing
+everything the simulator can observe.
+
+Enable it with the ``REPRO_ORACLE`` environment variable (or the runner's
+``--oracle`` flag, which sets it):
+
+``REPRO_ORACLE=1``
+    check every episode that goes through
+    :func:`repro.experiments.suite.run_episode`;
+``REPRO_ORACLE=N`` (integer > 1)
+    check every N-th episode (cheap spot-checking on big sweeps);
+``REPRO_ORACLE=0`` / unset
+    off (the default).
+
+Cached episodes are served without re-running and therefore without an
+oracle pass — combine ``--oracle`` with ``--refresh`` to re-verify a warm
+result store.  Any mismatch raises
+:class:`~repro.common.errors.OracleDivergenceError` naming the field that
+diverged; it always means a bug in one of the two paths.
+"""
+
+import os
+from dataclasses import dataclass
+
+from repro.common.config import SystemConfig
+from repro.common.errors import OracleDivergenceError
+from repro.core.system import SecureEpdSystem
+from repro.crypto.batch import batching_enabled
+from repro.epd.drain import DrainReport
+
+_EPISODES_SEEN = 0
+
+
+def oracle_interval() -> int:
+    """The configured sampling interval: 0 = off, 1 = every episode."""
+    raw = os.environ.get("REPRO_ORACLE", "0").strip()
+    try:
+        interval = int(raw)
+    except ValueError:
+        return 1 if raw else 0
+    return max(interval, 0)
+
+
+def should_check() -> bool:
+    """Sampling decision for the next episode (advances the sample counter)."""
+    global _EPISODES_SEEN
+    interval = oracle_interval()
+    if interval == 0:
+        return False
+    _EPISODES_SEEN += 1
+    return _EPISODES_SEEN % interval == 0
+
+
+@dataclass(frozen=True)
+class OracleOutcome:
+    """What one differential episode produced (the env-default run's view)."""
+
+    drain: DrainReport
+    recovery: object | None
+    checks: int
+    """Number of observable fields compared."""
+
+
+def _observe(config: SystemConfig, scheme: str, batched: bool, fill: str,
+             fill_seed: int, drain_seed: int, recover: bool,
+             system_kwargs: dict):
+    """Run one full episode; return (system, observables dict)."""
+    system = SecureEpdSystem(config, scheme=scheme, batched=batched,
+                             **system_kwargs)
+    if fill == "sequential":
+        system.hierarchy.fill_sequential()
+    else:
+        system.fill_worst_case(seed=fill_seed)
+
+    obs: dict[str, object] = {}
+    drain_exc: BaseException | None = None
+    report = None
+    try:
+        report = system.crash(seed=drain_seed)
+    except Exception as exc:  # compared, then re-raised by the caller
+        drain_exc = exc
+    obs["drain exception"] = (type(drain_exc).__name__, str(drain_exc)) \
+        if drain_exc is not None else None
+    if report is not None:
+        obs["flushed blocks"] = report.flushed_blocks
+        obs["metadata blocks"] = report.metadata_blocks
+        obs["drain cycles"] = report.cycles
+        obs["drain stats"] = report.stats.snapshot()
+
+    recovery = None
+    if recover and report is not None:
+        rec_exc: BaseException | None = None
+        try:
+            recovery = system.recover()
+        except Exception as exc:
+            rec_exc = exc
+        obs["recovery exception"] = (type(rec_exc).__name__, str(rec_exc)) \
+            if rec_exc is not None else None
+        if recovery is not None:
+            obs["recovered blocks"] = recovery.blocks_restored
+            obs["recovery cycles"] = recovery.cycles
+            obs["recovery stats"] = recovery.stats.snapshot()
+        obs["hierarchy lines"] = [
+            sorted(((line.address, line.data, line.dirty)
+                    for line in level.lines()), key=lambda entry: entry[0])
+            for level in system.hierarchy.levels]
+
+    obs["NVM image"] = system.nvm.backend.image()
+    obs["lost writes"] = list(system.nvm.lost_writes)
+    if system.drain_counter is not None:
+        obs["drain counter"] = (system.drain_counter.value,
+                                system.drain_counter.ephemeral)
+    obs["total stats"] = system.stats.snapshot()
+    return system, report, recovery, drain_exc, obs
+
+
+def run_differential(config: SystemConfig, scheme: str, *,
+                     fill: str = "sparse", fill_seed: int = 11,
+                     drain_seed: int = 23, recover: bool = False,
+                     **system_kwargs) -> OracleOutcome:
+    """Run one episode on both paths; raise on any observable difference.
+
+    Returns the reports of whichever run matches the session's default
+    batching setting (so a caller can transparently substitute a
+    differential run for a normal one).  ``system_kwargs`` are forwarded to
+    both :class:`~repro.core.system.SecureEpdSystem` constructions —
+    fault-matrix schemes pass ``rotate_vault``/``recovery_mode`` etc.
+    """
+    runs = {}
+    for batched in (True, False):
+        runs[batched] = _observe(config, scheme, batched, fill, fill_seed,
+                                 drain_seed, recover, system_kwargs)
+    _, report_b, recovery_b, exc_b, obs_b = runs[True]
+    _, report_s, recovery_s, exc_s, obs_s = runs[False]
+
+    fields = sorted(set(obs_b) | set(obs_s))
+    for name in fields:
+        value_b, value_s = obs_b.get(name), obs_s.get(name)
+        if value_b != value_s:
+            raise OracleDivergenceError(
+                f"scalar and batched paths diverged on {name!r} for "
+                f"scheme={scheme!r} fill={fill!r} seeds=({fill_seed}, "
+                f"{drain_seed}): batched={_shorten(value_b)} "
+                f"scalar={_shorten(value_s)}")
+
+    if batching_enabled(None):
+        report, recovery, exc = report_b, recovery_b, exc_b
+    else:
+        report, recovery, exc = report_s, recovery_s, exc_s
+    if exc is not None:
+        raise exc
+    return OracleOutcome(drain=report, recovery=recovery, checks=len(fields))
+
+
+def _shorten(value: object, limit: int = 200) -> str:
+    text = repr(value)
+    return text if len(text) <= limit else text[:limit] + "..."

@@ -15,9 +15,15 @@ from dataclasses import dataclass
 
 from repro.cache.hierarchy import CacheHierarchy
 from repro.common.config import SystemConfig
-from repro.common.constants import ADDRESSES_PER_BLOCK, MAC_SIZE, MACS_PER_BLOCK
+from repro.common.constants import (
+    ADDRESSES_PER_BLOCK,
+    CACHE_LINE_SIZE,
+    MAC_SIZE,
+    MACS_PER_BLOCK,
+)
 from repro.common.errors import ConfigError, IntegrityError, RecoveryError
 from repro.core.chv import MAC_GROUP_DLM, MAC_GROUP_SLM, ChvLayout
+from repro.crypto.batch import batching_enabled, split_blocks
 from repro.crypto.counters import DrainCounter
 from repro.crypto.primitives import MacDomain
 from repro.mem.nvm import NvmDevice
@@ -49,7 +55,7 @@ class HorusRecovery:
                  chv: ChvLayout, drain_counter: DrainCounter,
                  hierarchy: CacheHierarchy, timing: TimingModel,
                  double_level_mac: bool = False, mode: str = "refill",
-                 rotate_vault: bool = False):
+                 rotate_vault: bool = False, batched: bool | None = None):
         if mode not in ("refill", "writeback"):
             raise ConfigError(
                 f"recovery mode must be 'refill' or 'writeback', got {mode!r}")
@@ -61,6 +67,7 @@ class HorusRecovery:
         self._timing = timing
         self._dlm = double_level_mac
         self.rotate_vault = rotate_vault
+        self.batched = batching_enabled(batched)
         self.mode = mode
         """The paper's two recovery options (Section IV-C3): ``refill``
         places verified blocks back in the LLC dirty (option 1, inclusive
@@ -79,9 +86,6 @@ class HorusRecovery:
 
         stats = self._controller.stats
         before = stats.copy()
-        aes = self._controller.aes
-        mac = self._controller.mac
-        layout = self._controller.layout
 
         # The rotation offset is derived from the episode-start DC — exactly
         # as the drain derived it (DC and eDC are persistent registers).
@@ -90,11 +94,37 @@ class HorusRecovery:
             self._chv, self._dc.value - self._dc.ephemeral, self.rotate_vault,
             group_align=self.mac_group)
 
+        writeback_queue: list[tuple[int, bytes]] = []
+        if self.batched and self._nvm.trace is None:
+            self._recover_batched(count, rotation, writeback_queue)
+        else:
+            self._recover_scalar(count, rotation, writeback_queue)
+
+        for address, plaintext in writeback_queue:
+            self._controller.write(address, plaintext)
+
+        self._dc.clear_ephemeral()
+        episode = stats.diff(before)
+        cycles = self._timing.cycles(episode)
+        return RecoveryReport(
+            scheme=self.name,
+            blocks_restored=count,
+            stats=episode,
+            cycles=cycles,
+            seconds=cycles / self._timing.config.frequency_hz,
+        )
+
+    def _recover_scalar(self, count: int, rotation,
+                        writeback_queue: list[tuple[int, bytes]]) -> None:
+        """The reference per-position read/verify/restore loop."""
+        aes = self._controller.aes
+        mac = self._controller.mac
+        layout = self._controller.layout
+
         address_block: bytes | None = None
         mac_block: bytes | None = None
         dlm_buffer: list[bytes] = []
         dlm_pending: list[tuple[int, int, bytes]] = []
-        writeback_queue: list[tuple[int, bytes]] = []
 
         for position in range(count):
             if position % ADDRESSES_PER_BLOCK == 0:
@@ -143,19 +173,87 @@ class HorusRecovery:
                 self._consume(layout, aes, writeback_queue,
                               address, counter, ciphertext)
 
-        for address, plaintext in writeback_queue:
-            self._controller.write(address, plaintext)
+    def _recover_batched(self, count: int, rotation,
+                         writeback_queue: list[tuple[int, bytes]]) -> None:
+        """Whole-episode verify/decrypt through the batch crypto engines.
 
-        self._dc.clear_ephemeral()
-        episode = stats.diff(before)
-        cycles = self._timing.cycles(episode)
-        return RecoveryReport(
-            scheme=self.name,
-            blocks_restored=count,
-            stats=episode,
-            cycles=cycles,
-            seconds=cycles / self._timing.config.frequency_hz,
-        )
+        On success the restored state, NVM image, and operation counters are
+        identical to :meth:`_recover_scalar` (the differential oracle pins
+        this).  On an integrity failure the same blocks are restored — every
+        position (SLM) or full first-level group (DLM) *before* the failing
+        one — and the same exception is raised; only the failure-path
+        operation counters differ, because the batch computed the whole
+        episode's MACs before the first comparison.
+        """
+        mac = self._controller.mac
+        aes = self._controller.aes
+        layout = self._controller.layout
+        chv = self._chv
+        group_size = self.mac_group
+
+        address_blocks = self._nvm.read_batch(
+            [chv.address_block_address(rotation.address_group(g))
+             for g in range(-(-count // ADDRESSES_PER_BLOCK))],
+            ReadKind.CHV)
+        mac_blocks = self._nvm.read_batch(
+            [chv.mac_block_address(rotation.mac_group(g, group_size),
+                                   group_size)
+             for g in range(-(-count // group_size))],
+            ReadKind.CHV)
+        data_blocks = self._nvm.read_batch(
+            chv.data_addresses(rotation.data_slots(count)), ReadKind.CHV)
+
+        addresses = [
+            int.from_bytes(block[slot * 8:(slot + 1) * 8], "little")
+            for block in address_blocks
+            for slot in range(ADDRESSES_PER_BLOCK)][:count]
+        base = self._dc.value - self._dc.ephemeral
+        counters = range(base, base + count)
+        buffer = b"".join(data_blocks)
+        computed = mac.block_mac_batch(MacKind.VERIFY, buffer, addresses,
+                                       counters, domain=MacDomain.CHV_DATA)
+
+        verified = count
+        failure: IntegrityError | None = None
+        if self._dlm:
+            groups = [b"".join(computed[i:i + MACS_PER_BLOCK])
+                      for i in range(0, count, MACS_PER_BLOCK)]
+            level2 = mac.digest_mac_batch(MacKind.VERIFY, groups,
+                                          len(groups),
+                                          domain=MacDomain.CHV_LEVEL2)
+            for g, second in enumerate(level2):
+                start = g * MACS_PER_BLOCK
+                slot = (start % MAC_GROUP_DLM) // MACS_PER_BLOCK
+                stored = mac_blocks[start // MAC_GROUP_DLM][
+                    slot * MAC_SIZE:(slot + 1) * MAC_SIZE]
+                if stored != second:
+                    verified = start
+                    position = min(start + MACS_PER_BLOCK, count) - 1
+                    failure = IntegrityError(
+                        f"CHV second-level MAC mismatch for group ending "
+                        f"at vault position {position}")
+                    break
+        else:
+            for position in range(count):
+                stored = self._stored_mac(
+                    mac_blocks[position // MAC_GROUP_SLM], position,
+                    MAC_GROUP_SLM)
+                if stored != computed[position]:
+                    verified = position
+                    failure = IntegrityError(
+                        f"CHV MAC mismatch at vault position {position} "
+                        f"(original address {addresses[position]:#x})",
+                        addresses[position])
+                    break
+
+        if verified:
+            plaintext = aes.decrypt_batch(
+                addresses[:verified], counters[:verified],
+                buffer[:verified * CACHE_LINE_SIZE])
+            for address, block in zip(addresses, split_blocks(plaintext)):
+                self._place(layout, writeback_queue, address, block)
+        if failure is not None:
+            raise failure
 
     # ------------------------------------------------------------------
 
@@ -194,6 +292,10 @@ class HorusRecovery:
                  address: int, counter: int, ciphertext: bytes) -> None:
         """Decrypt and place one verified vault block."""
         plaintext = aes.decrypt(address, counter, ciphertext)
+        self._place(layout, writeback_queue, address, plaintext)
+
+    def _place(self, layout, writeback_queue: list[tuple[int, bytes]],
+               address: int, plaintext: bytes) -> None:
         if self.mode == "writeback" and layout.classify(address) == "data":
             # Option 2: replay as run-time writes, but only after the
             # vaulted metadata-cache content is back (it arrives at the

@@ -27,6 +27,7 @@ from repro.common.errors import ConfigError, DrainStateError
 from repro.core.chv import ChvLayout
 from repro.core.horus import HorusDrainEngine
 from repro.core.recovery import HorusRecovery, RecoveryReport
+from repro.crypto.batch import batching_enabled
 from repro.crypto.counters import DrainCounter
 from repro.epd.baseline import BaselineSecureDrain
 from repro.epd.drain import DrainEngine, DrainReport, NonSecureDrain
@@ -49,7 +50,7 @@ class SecureEpdSystem:
     def __init__(self, config: SystemConfig | None = None,
                  scheme: str = "horus-dlm", recovery_mode: str = "refill",
                  inclusive: bool = True, osiris_stop_loss: int = 0,
-                 rotate_vault: bool = False):
+                 rotate_vault: bool = False, batched: bool | None = None):
         if scheme not in SCHEMES:
             raise ConfigError(
                 f"unknown scheme {scheme!r}; expected one of {SCHEMES}")
@@ -65,6 +66,13 @@ class SecureEpdSystem:
                 "non-inclusive hierarchies require recovery_mode='writeback'")
         self.config = config if config is not None else SystemConfig.paper()
         self.scheme = scheme
+        self.batched = batching_enabled(batched)
+        """Whether hot paths run through the batched crypto/NVM engines.
+
+        Resolved from the ``batched`` argument, falling back to the
+        ``REPRO_BATCH`` environment switch (the differential oracle runs one
+        system per setting).  Scalar and batched execution are observably
+        identical — same NVM image, same counters, same faults lost."""
         self.stats = SimStats()
         self.timing = TimingModel(self.config)
 
@@ -81,7 +89,7 @@ class SecureEpdSystem:
         if scheme == "nosec":
             self.hierarchy.attach(self._plain_fetch, self._plain_writeback)
             self.drain_engine: DrainEngine = NonSecureDrain(
-                self.stats, self.timing, self.nvm)
+                self.stats, self.timing, self.nvm, batched=self.batched)
         else:
             # Horus runs the recovery-oblivious lazy scheme at run time
             # (DRAM-like performance is the premise); the baselines pick
@@ -94,7 +102,7 @@ class SecureEpdSystem:
                 runtime_scheme = "eager" if scheme == "base-eu" else "lazy"
             self.controller = SecureMemoryController(
                 self.config, self.nvm, self.layout, self.stats,
-                scheme=runtime_scheme)
+                scheme=runtime_scheme, batched=self.batched)
             self.hierarchy.attach(self.controller.read, self.controller.write)
             if scheme.startswith("base"):
                 self.drain_engine = BaselineSecureDrain(
@@ -112,11 +120,12 @@ class SecureEpdSystem:
                 self.drain_engine = HorusDrainEngine(
                     self.controller, self.nvm, chv, self.drain_counter,
                     self.timing, double_level_mac=dlm,
-                    rotate_vault=rotate_vault)
+                    rotate_vault=rotate_vault, batched=self.batched)
                 self._recovery = HorusRecovery(
                     self.controller, self.nvm, chv, self.drain_counter,
                     self.hierarchy, self.timing, double_level_mac=dlm,
-                    mode=recovery_mode, rotate_vault=rotate_vault)
+                    mode=recovery_mode, rotate_vault=rotate_vault,
+                    batched=self.batched)
 
         self.last_drain: DrainReport | None = None
         self.last_recovery: RecoveryReport | None = None

@@ -1,0 +1,181 @@
+"""Batched cryptographic primitives for the drain/verify hot paths.
+
+The scalar primitives in :mod:`repro.crypto.primitives` pay their cost in
+Python call overhead, not in hashing: one drain episode walks hundreds of
+thousands of blocks through ``generate_pad``/``xor_block``/``compute_mac``,
+and each call re-runs the BLAKE2b key schedule and converts 64 B blocks
+through arbitrary-precision integers one at a time.  The batch forms below
+are *provably equivalent* — they produce byte-identical output for every
+input (property-tested in ``tests/test_prop_batch.py``) — but amortize the
+fixed costs across the whole work list:
+
+* the keyed hash state (key block + domain tag) is absorbed once and
+  ``copy()``-ed per item instead of being recomputed;
+* the counter-mode XOR runs once over the episode's contiguous buffer as a
+  single arbitrary-precision operation instead of per block;
+* per-item framing (address/counter fields) is assembled in one pass.
+
+Nothing here changes any value the simulator produces: the scalar
+primitives remain the specification, and the differential oracle
+(:mod:`repro.core.oracle`) holds the batched engines to it end to end.
+"""
+
+import hashlib
+import os
+from collections.abc import Iterable, Sequence
+
+from repro.common.constants import CACHE_LINE_SIZE, MAC_SIZE
+from repro.crypto.primitives import MAC_DOMAIN, PAD_DOMAIN, MacDomain
+
+
+def batching_enabled(override: bool | None = None) -> bool:
+    """Resolve the batched-execution default.
+
+    ``REPRO_BATCH=0`` forces every engine onto the scalar reference path
+    (the differential oracle's other half); anything else — including the
+    variable being unset — selects the batched hot path.  An explicit
+    ``batched=`` argument on a system or engine always wins.
+    """
+    if override is not None:
+        return override
+    return os.environ.get("REPRO_BATCH", "1") != "0"
+
+
+def counter_frames(addresses: Sequence[int],
+                   counters: Sequence[int]) -> list[bytes]:
+    """The per-block (address, counter) hash frame, batch-assembled.
+
+    Element ``i`` is ``int_field(addresses[i]) + int_field(counters[i], 16)``
+    — the exact bytes both the pad and the block-MAC absorb after their
+    domain tags.  Pad generation and MAC computation over the same work list
+    share one frame pass.
+    """
+    if len(addresses) != len(counters):
+        raise ValueError("addresses and counters must have equal length")
+    return [address.to_bytes(8, "little") + counter.to_bytes(16, "little")
+            for address, counter in zip(addresses, counters)]
+
+
+def generate_pads(key: bytes, addresses: Sequence[int],
+                  counters: Sequence[int],
+                  frames: Sequence[bytes] | None = None) -> bytes:
+    """Counter-mode pads for a batch of blocks, as one contiguous buffer.
+
+    Byte ``64*i .. 64*i+63`` equals ``generate_pad(key, addresses[i],
+    counters[i])``.  The keyed state and the pad domain tag are absorbed
+    once; each block only pays for its own (address, counter) frame.
+    ``frames`` lets a caller that also MACs the same batch reuse one
+    :func:`counter_frames` pass; it must equal
+    ``counter_frames(addresses, counters)``.
+    """
+    if frames is None:
+        frames = counter_frames(addresses, counters)
+    base = hashlib.blake2b(key=key, digest_size=CACHE_LINE_SIZE)
+    base.update(PAD_DOMAIN)
+    fork = base.copy
+    pads = []
+    append = pads.append
+    for frame in frames:
+        h = fork()
+        h.update(frame)
+        append(h.digest())
+    return b"".join(pads)
+
+
+def xor_buffers(a: bytes, b: bytes) -> bytes:
+    """XOR two equal-length buffers in one arbitrary-precision operation.
+
+    With 64 B inputs this is exactly ``xor_block``; over a whole episode's
+    concatenated blocks it replaces N int conversions with one.
+    """
+    if len(a) != len(b):
+        raise ValueError(f"buffer lengths differ: {len(a)} != {len(b)}")
+    return (int.from_bytes(a, "little")
+            ^ int.from_bytes(b, "little")).to_bytes(len(a), "little")
+
+
+def encrypt_blocks(key: bytes, addresses: Sequence[int],
+                   counters: Sequence[int], plaintext: bytes,
+                   frames: Sequence[bytes] | None = None) -> bytes:
+    """Counter-mode encrypt a contiguous buffer of 64 B blocks.
+
+    ``plaintext`` is the concatenation of ``len(addresses)`` blocks; the
+    result is the concatenation of ``encrypt_block(key, a, c, block)`` for
+    each.  Encryption and decryption are the same operation, as in the
+    scalar form.
+    """
+    if len(plaintext) != CACHE_LINE_SIZE * len(addresses):
+        raise ValueError(
+            f"plaintext must be {CACHE_LINE_SIZE} B per address, got "
+            f"{len(plaintext)} B for {len(addresses)} addresses")
+    if not addresses:
+        return b""
+    return xor_buffers(plaintext,
+                       generate_pads(key, addresses, counters, frames))
+
+
+decrypt_blocks = encrypt_blocks
+"""Counter-mode decryption is identical to encryption by construction."""
+
+
+def compute_macs(key: bytes, items: Iterable[tuple[bytes, ...]],
+                 domain: MacDomain = MacDomain.NODE) -> list[bytes]:
+    """Keyed MACs over a batch of pre-framed inputs.
+
+    ``items[i]`` is the ``parts`` tuple the scalar ``compute_mac`` would
+    receive; the result matches it byte for byte under the same ``domain``.
+    The keyed state and both domain tags are absorbed once for the batch.
+    """
+    base = hashlib.blake2b(key=key, digest_size=MAC_SIZE)
+    base.update(MAC_DOMAIN)
+    base.update(domain.value)
+    fork = base.copy
+    macs = []
+    append = macs.append
+    for parts in items:
+        h = fork()
+        for part in parts:
+            h.update(part)
+        append(h.digest())
+    return macs
+
+
+def compute_block_macs(key: bytes, buffer: bytes, addresses: Sequence[int],
+                       counters: Sequence[int], domain: MacDomain,
+                       frames: Sequence[bytes] | None = None) -> list[bytes]:
+    """Batched (ciphertext, address, counter) MACs — the CHV/data-MAC shape.
+
+    ``buffer`` is the concatenation of ``len(addresses)`` 64 B blocks;
+    element ``i`` equals ``compute_mac(key, block_i, int_field(addr),
+    int_field(ctr, 16), domain=domain)``.  ``frames`` reuses a
+    :func:`counter_frames` pass shared with pad generation.
+    """
+    if len(buffer) != CACHE_LINE_SIZE * len(addresses):
+        raise ValueError(
+            f"buffer must be {CACHE_LINE_SIZE} B per address, got "
+            f"{len(buffer)} B for {len(addresses)} addresses")
+    if frames is None:
+        frames = counter_frames(addresses, counters)
+    view = memoryview(buffer)
+    base = hashlib.blake2b(key=key, digest_size=MAC_SIZE)
+    base.update(MAC_DOMAIN)
+    base.update(domain.value)
+    fork = base.copy
+    macs = []
+    append = macs.append
+    offset = 0
+    for frame in frames:
+        h = fork()
+        h.update(view[offset:offset + CACHE_LINE_SIZE])
+        h.update(frame)
+        append(h.digest())
+        offset += CACHE_LINE_SIZE
+    return macs
+
+
+def split_blocks(buffer: bytes, size: int = CACHE_LINE_SIZE) -> list[bytes]:
+    """Cut a contiguous buffer back into ``size``-byte blocks."""
+    if len(buffer) % size:
+        raise ValueError(f"buffer length {len(buffer)} not a multiple "
+                         f"of {size}")
+    return [buffer[i:i + size] for i in range(0, len(buffer), size)]

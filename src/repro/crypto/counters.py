@@ -135,6 +135,23 @@ class DrainCounter:
         self._edc += 1
         return value
 
+    def take(self, count: int) -> int:
+        """Consume ``count`` consecutive counter values; return the first.
+
+        Equivalent to ``count`` calls of :meth:`next` (positions get values
+        ``start .. start+count-1``) — the batched drain path reserves a whole
+        episode's counters in one register update, exactly as hardware
+        would add a constant to DC.
+        """
+        if count < 0:
+            raise CounterOverflowError("cannot take a negative count")
+        if self._dc + count >= 1 << 64:
+            raise CounterOverflowError("drain counter exhausted")
+        start = self._dc
+        self._dc += count
+        self._edc += count
+        return start
+
     def value_at(self, position: int) -> int:
         """DC value that was used for episode position ``position``.
 

@@ -6,7 +6,10 @@ and (b) an optional non-functional mode where values are not actually computed
 (counting-only), which speeds up pure performance experiments.
 """
 
+from collections.abc import Sequence
+
 from repro.common.constants import CACHE_LINE_SIZE, MAC_SIZE
+from repro.crypto import batch
 from repro.crypto.primitives import (
     MacDomain,
     compute_mac,
@@ -48,6 +51,35 @@ class AesEngine:
         if not self.functional or ciphertext is None:
             return ciphertext
         return decrypt_block(self._key, address, counter, ciphertext)
+
+    def encrypt_batch(self, addresses: Sequence[int],
+                      counters: Sequence[int],
+                      plaintext: bytes | None,
+                      frames: Sequence[bytes] | None = None) -> bytes | None:
+        """Encrypt a contiguous batch; accounts one AES op per block.
+
+        ``plaintext`` is the concatenation of the batch's blocks, or
+        ``None`` in non-functional mode — the return is then ``None`` too
+        (each block's ciphertext is ``None``, as in the scalar path;
+        callers substitute zero blocks at write time).  ``frames`` shares a
+        :func:`repro.crypto.batch.counter_frames` pass with the MAC engine.
+        """
+        self._stats.record_aes(AesKind.ENCRYPT, len(addresses))
+        if not self.functional or plaintext is None:
+            return None
+        return batch.encrypt_blocks(self._key, addresses, counters,
+                                    plaintext, frames)
+
+    def decrypt_batch(self, addresses: Sequence[int],
+                      counters: Sequence[int],
+                      ciphertext: bytes | None,
+                      frames: Sequence[bytes] | None = None) -> bytes | None:
+        """Decrypt a contiguous batch; accounts one AES op per block."""
+        self._stats.record_aes(AesKind.DECRYPT, len(addresses))
+        if not self.functional or ciphertext is None:
+            return None
+        return batch.decrypt_blocks(self._key, addresses, counters,
+                                    ciphertext, frames)
 
 
 class MacEngine:
@@ -102,6 +134,40 @@ class MacEngine:
         if domain is None:
             domain = _DIGEST_DOMAINS.get(kind, MacDomain.NODE)
         return compute_mac(self._key, content, domain=domain)
+
+    def block_mac_batch(self, kind: MacKind, buffer: bytes | None,
+                        addresses: Sequence[int], counters: Sequence[int],
+                        domain: MacDomain | None = None,
+                        frames: Sequence[bytes] | None = None) -> list[bytes]:
+        """Batched :meth:`block_mac`: one accounted MAC per element.
+
+        ``buffer`` holds the batch's ciphertext blocks contiguously;
+        ``None`` is the non-functional form (placeholder MACs, same as the
+        scalar path with ``ciphertext=None``).  Domain resolution is
+        identical to :meth:`block_mac`; ``frames`` shares a
+        :func:`repro.crypto.batch.counter_frames` pass with the AES engine.
+        """
+        count = len(addresses)
+        self._stats.record_mac(kind, count)
+        if not self.functional or buffer is None:
+            return [_PLACEHOLDER_MAC] * count
+        if domain is None:
+            domain = _BLOCK_DOMAINS.get(kind, MacDomain.DATA)
+        return batch.compute_block_macs(self._key, buffer, addresses,
+                                        counters, domain, frames)
+
+    def digest_mac_batch(self, kind: MacKind,
+                         contents: Sequence[bytes] | None, count: int,
+                         domain: MacDomain | None = None) -> list[bytes]:
+        """Batched :meth:`digest_mac` over ``count`` raw contents."""
+        self._stats.record_mac(kind, count)
+        if not self.functional or contents is None:
+            return [_PLACEHOLDER_MAC] * count
+        if domain is None:
+            domain = _DIGEST_DOMAINS.get(kind, MacDomain.NODE)
+        return batch.compute_macs(self._key,
+                                  ((content,) for content in contents),
+                                  domain=domain)
 
     def verify_equal(self, expected: bytes, actual: bytes) -> bool:
         """Compare MACs; in non-functional mode everything verifies."""

@@ -11,6 +11,7 @@ from dataclasses import dataclass
 
 from repro.cache.hierarchy import CacheHierarchy
 from repro.common.constants import CACHE_LINE_SIZE
+from repro.crypto.batch import batching_enabled
 from repro.stats.counters import SimStats
 from repro.stats.timing import TimingModel
 from repro.stats.events import WriteKind
@@ -90,12 +91,21 @@ class NonSecureDrain(DrainEngine):
 
     name = "nosec"
 
-    def __init__(self, stats: SimStats, timing: TimingModel, nvm):
+    def __init__(self, stats: SimStats, timing: TimingModel, nvm,
+                 batched: bool | None = None):
         super().__init__(stats, timing)
         self._nvm = nvm
+        self.batched = batching_enabled(batched)
 
     def _run(self, hierarchy: CacheHierarchy,
              seed: int | None) -> tuple[int, int]:
+        if self.batched:
+            writes = [(line.address,
+                       line.data if line.data is not None else _ZERO_BLOCK,
+                       WriteKind.DATA)
+                      for line in hierarchy.drain_lines(seed)]
+            self._nvm.write_batch(writes)
+            return len(writes), 0
         flushed = 0
         for line in hierarchy.drain_lines(seed):
             payload = line.data if line.data is not None else _ZERO_BLOCK

@@ -339,6 +339,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--profile", action="store_true",
                         help="print per-experiment timing, worker ids, and "
                              "cache hit/miss counts")
+    parser.add_argument("--oracle", action="store_true",
+                        help="differential oracle: run every episode on both "
+                             "the scalar and batched paths and fail on any "
+                             "observable difference (sets REPRO_ORACLE=1; "
+                             "combine with --refresh to re-verify cached "
+                             "episodes)")
     parser.add_argument("--output", metavar="DIR",
                         help="also write results.json and results.md there")
     parser.add_argument("--chart", action="store_true",
@@ -347,6 +353,9 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
+    if args.oracle:
+        # Set before any worker process spawns so the whole fan-out samples.
+        os.environ.setdefault("REPRO_ORACLE", "1")
 
     names = args.experiments or list(EXPERIMENTS)
     cache = None

@@ -98,12 +98,24 @@ class DrainSuite:
 def run_episode(config: SystemConfig, scheme: str, fill: str = "sparse",
                 fill_seed: int = FILL_SEED,
                 drain_seed: int = DRAIN_SEED) -> DrainReport:
-    """Run one drain episode from scratch (no memoization, no cache)."""
+    """Run one drain episode from scratch (no memoization, no cache).
+
+    With ``REPRO_ORACLE`` set (see :mod:`repro.core.oracle`), sampled
+    episodes run *twice* — scalar and batched — and any observable
+    difference raises before the report is returned.
+    """
+    if fill not in FILL_MODES:
+        raise ValueError(f"unknown fill mode {fill!r}")
+
+    from repro.core.oracle import run_differential, should_check
+    if should_check():
+        return run_differential(config, scheme, fill=fill,
+                                fill_seed=fill_seed,
+                                drain_seed=drain_seed).drain
+
     system = SecureEpdSystem(config, scheme=scheme)
     if fill == "sparse":
         system.fill_worst_case(seed=fill_seed)
-    elif fill == "sequential":
-        system.hierarchy.fill_sequential()
     else:
-        raise ValueError(f"unknown fill mode {fill!r}")
+        system.hierarchy.fill_sequential()
     return system.crash(seed=drain_seed)

@@ -52,6 +52,39 @@ class SparseMemory:
                 f"got {len(data)}")
         self._blocks[self._check(address)] = bytes(data)
 
+    def write_blocks(self, items) -> None:
+        """Store a batch of ``(address, data)`` 64 B blocks.
+
+        Semantically identical to :meth:`write_block` per item (same
+        validation, same resulting contents); validation runs for the whole
+        batch before the first store so a bad item cannot leave a partial
+        batch behind — the device-level fault model, not this method,
+        decides what a torn batch looks like.
+        """
+        items = list(items)
+        size = self._size
+        for address, data in items:
+            if address % CACHE_LINE_SIZE:
+                raise AddressError(f"address {address:#x} is not "
+                                   f"{CACHE_LINE_SIZE}-byte aligned")
+            if address + CACHE_LINE_SIZE > size:
+                raise AddressError(
+                    f"address {address:#x} beyond end of memory "
+                    f"({size:#x})")
+            if len(data) != CACHE_LINE_SIZE:
+                raise AddressError(
+                    f"block writes must be exactly {CACHE_LINE_SIZE} B, "
+                    f"got {len(data)}")
+        self._blocks.update(
+            (address // CACHE_LINE_SIZE, bytes(data))
+            for address, data in items)
+
+    def read_blocks(self, addresses) -> list[bytes]:
+        """Read a batch of 64 B blocks (:meth:`read_block` per element)."""
+        blocks = self._blocks
+        return [blocks.get(self._check(address), ZERO_BLOCK)
+                for address in addresses]
+
     def is_written(self, address: int) -> bool:
         """True when ``address`` has been explicitly written at least once."""
         return self._check(address) in self._blocks
@@ -64,6 +97,14 @@ class SparseMemory:
         """All block addresses that were ever explicitly written, ascending."""
         for index in sorted(self._blocks):
             yield index * CACHE_LINE_SIZE
+
+    def image(self) -> dict[int, bytes]:
+        """Snapshot of every written block, as ``{address: content}``.
+
+        Two backends hold identical persistent state iff their images are
+        equal — the differential oracle's definition of \"same NVM\"."""
+        return {index * CACHE_LINE_SIZE: data
+                for index, data in self._blocks.items()}
 
     def clear(self) -> None:
         """Drop all content (fresh memory)."""

@@ -85,6 +85,22 @@ class NvmDevice:
             self.trace.append((address, False))
         return data
 
+    def read_batch(self, addresses, kind: ReadKind) -> list[bytes]:
+        """Read a batch of 64 B blocks, accounted under ``kind``.
+
+        Identical to :meth:`read` per element; when a trace is attached the
+        batch falls back to scalar issue so the request log keeps its
+        per-request granularity, otherwise the stats update is folded into
+        one counter bump.
+        """
+        if not isinstance(kind, ReadKind):
+            raise AddressError(f"read kind must be a ReadKind, got {kind!r}")
+        if self.trace is not None:
+            return [self.read(address, kind) for address in addresses]
+        data = self._backend.read_blocks(addresses)
+        self.stats.record_read(kind, len(data))
+        return data
+
     def write(self, address: int, data: bytes, kind: WriteKind) -> None:
         """Write one 64 B block, accounted under ``kind``.
 
@@ -109,6 +125,41 @@ class NvmDevice:
             self.wear.record_write(address)
         if self.trace is not None:
             self.trace.append((address, True))
+
+    def write_batch(self, items, kind_counts=None) -> None:
+        """Write a batch of ``(address, data, kind)`` blocks in list order.
+
+        Accounting is identical to issuing each item through :meth:`write`:
+        stats count every attempt by kind, wear and trace see every request
+        in order, and an attached fault plan filters each write individually
+        (so a power cut mid-batch loses exactly the tail it would have lost
+        under scalar issue).  Only the bookkeeping is grouped — when no
+        fault plan, wear tracker, or trace is attached, the batch takes a
+        fast path that bulk-loads the backend and folds the stats updates
+        into one counter update per kind.
+
+        ``kind_counts`` (a ``{WriteKind: count}`` mapping) lets a caller
+        that already knows its batch composition skip the per-item counting
+        pass; it must sum to ``len(items)`` with each kind's true count.
+        """
+        if (self.fault_plan is not None or self.wear is not None
+                or self.trace is not None):
+            for address, data, kind in items:
+                self.write(address, data, kind)
+            return
+        if kind_counts is None:
+            kind_counts = {}
+            for _, _, kind in items:
+                kind_counts[kind] = kind_counts.get(kind, 0) + 1
+        for kind in kind_counts:
+            if not isinstance(kind, WriteKind):
+                raise AddressError(
+                    f"write kind must be a WriteKind, got {kind!r}")
+        self._backend.write_blocks(
+            [(address, data) for address, data, _ in items])
+        record = self.stats.record_write
+        for kind, count in kind_counts.items():
+            record(kind, count)
 
     def peek(self, address: int) -> bytes:
         """Read without accounting (simulator-internal inspection only)."""

@@ -22,17 +22,25 @@ class SimStats:
 
     # -- recording ------------------------------------------------------------
 
+    # Zero counts are skipped, not added: ``Counter({k: 0}) != Counter()``,
+    # and a batched caller recording an empty batch must stay
+    # indistinguishable from a scalar caller that never called at all.
+
     def record_read(self, kind: ReadKind, count: int = 1) -> None:
-        self.reads[kind] += count
+        if count:
+            self.reads[kind] += count
 
     def record_write(self, kind: WriteKind, count: int = 1) -> None:
-        self.writes[kind] += count
+        if count:
+            self.writes[kind] += count
 
     def record_mac(self, kind: MacKind, count: int = 1) -> None:
-        self.macs[kind] += count
+        if count:
+            self.macs[kind] += count
 
     def record_aes(self, kind: AesKind, count: int = 1) -> None:
-        self.aes[kind] += count
+        if count:
+            self.aes[kind] += count
 
     # -- totals ---------------------------------------------------------------
 

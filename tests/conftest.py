@@ -3,12 +3,39 @@
 ``tiny`` configurations keep whole-system tests in the millisecond range
 while preserving the paper's structure (same stride ratio, same tree arity,
 same cache organization).
+
+Hypothesis is configured here once, through settings profiles, instead of
+per-file ``settings(deadline=None, ...)`` copies:
+
+``ci`` (the default)
+    no deadline (whole-system examples legitimately take tens of
+    milliseconds) and the ``too_slow`` health check suppressed;
+``nightly``
+    same, plus every :func:`examples` budget multiplied by 10 — select it
+    with ``HYPOTHESIS_PROFILE=nightly`` on scheduled runs.
 """
 
+import os
+
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.common.config import SystemConfig
 from repro.core.system import SecureEpdSystem
+
+HYPOTHESIS_PROFILE = os.environ.get("HYPOTHESIS_PROFILE", "ci")
+
+settings.register_profile(
+    "ci", deadline=None, suppress_health_check=[HealthCheck.too_slow])
+settings.register_profile(
+    "nightly", deadline=None, max_examples=1000,
+    suppress_health_check=[HealthCheck.too_slow])
+settings.load_profile(HYPOTHESIS_PROFILE)
+
+
+def examples(count: int) -> int:
+    """Per-test example budget: ``count`` in CI, 10x on ``nightly``."""
+    return count * (10 if HYPOTHESIS_PROFILE == "nightly" else 1)
 
 
 @pytest.fixture(scope="session")

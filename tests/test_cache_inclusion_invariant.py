@@ -5,11 +5,12 @@ dropped a clean line while L1 still held (and later dirtied) its copy,
 breaking the inclusive invariant the write-back path relies on.
 """
 
-from hypothesis import HealthCheck, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.common.config import SystemConfig
 from repro.core.system import SecureEpdSystem
+from tests.conftest import examples
 
 CONFIG = SystemConfig.scaled(512)
 
@@ -57,8 +58,7 @@ class TestInclusionInvariant:
     @given(ops=st.lists(
         st.tuples(st.booleans(), st.integers(0, 60)), min_size=1,
         max_size=150))
-    @settings(max_examples=25, deadline=None,
-              suppress_health_check=[HealthCheck.too_slow])
+    @settings(max_examples=examples(25))
     def test_invariant_under_random_conflict_streams(self, ops):
         """Random traffic over a deliberately conflict-dense address set
         (multiples of the L2 set count) with a data-correctness oracle."""

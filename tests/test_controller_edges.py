@@ -1,0 +1,200 @@
+"""Controller edge cases: minor-counter overflow and the victim buffer.
+
+Two corners the mainline roundtrip tests never reach:
+
+* ``_reencrypt_page`` — a minor-counter overflow mid-write (and mid-drain)
+  re-encrypts the whole 4 KiB page; the batched rewrite must be
+  indistinguishable from the scalar loop, holes, skip-slot, and stats
+  included;
+* ``drain_victims`` — with a metadata cache at capacity, every insert parks
+  a dirty victim; the buffer must drain in FIFO order and run cascading
+  writebacks to a fixed point.
+"""
+
+import pytest
+
+from repro.common.config import SystemConfig
+from repro.core.system import SecureEpdSystem
+from repro.crypto.counters import SplitCounterBlock
+from repro.mem.nvm import NvmDevice
+from repro.mem.regions import MemoryLayout
+from repro.secure.controller import SecureMemoryController
+from repro.stats.counters import SimStats
+
+WRITTEN_SLOTS = (0, 2, 3, 40, 63)
+OVERFLOW_SLOT = 2
+
+
+def make_controller(batched: bool, scheme: str = "lazy",
+                    scale: int = 512) -> SecureMemoryController:
+    config = SystemConfig.scaled(scale)
+    layout = MemoryLayout(config)
+    stats = SimStats()
+    nvm = NvmDevice(layout.total_size, stats)
+    return SecureMemoryController(config, nvm, layout, stats,
+                                  scheme=scheme, batched=batched)
+
+
+def payload(tag: int) -> bytes:
+    return tag.to_bytes(8, "little") * 8
+
+
+def _force_overflow(controller: SecureMemoryController,
+                    address: int = OVERFLOW_SLOT * 64) -> None:
+    """Arm ``address``'s minor counter so its next write wraps the page."""
+    block: SplitCounterBlock = controller.get_counter_line(address).value
+    block.minors[OVERFLOW_SLOT] = 127
+
+
+def _run_overflow_sequence(batched: bool) -> SecureMemoryController:
+    """Write a page with holes, then overflow one slot's minor counter."""
+    controller = make_controller(batched)
+    for slot in WRITTEN_SLOTS:
+        controller.write(slot * 64, payload(slot + 1))
+    _force_overflow(controller)
+    controller.write(OVERFLOW_SLOT * 64, payload(99))
+    return controller
+
+
+class TestReencryptPageOnOverflow:
+    @pytest.mark.parametrize("batched", [False, True])
+    def test_overflow_bumps_major_and_preserves_contents(self, batched):
+        controller = _run_overflow_sequence(batched)
+        block = controller.get_counter_line(0).value
+        assert block.major == 1
+        assert controller.read(OVERFLOW_SLOT * 64) == payload(99)
+        for slot in WRITTEN_SLOTS:
+            if slot != OVERFLOW_SLOT:
+                assert controller.read(slot * 64) == payload(slot + 1)
+
+    def test_batched_reencryption_matches_scalar(self):
+        """Byte-identical NVM (holes skipped, skip-slot honored) and
+        operation-identical stats across the two implementations."""
+        scalar = _run_overflow_sequence(batched=False)
+        batched = _run_overflow_sequence(batched=True)
+        assert batched.nvm.backend.image() == scalar.nvm.backend.image()
+        assert batched.stats.snapshot() == scalar.stats.snapshot()
+
+    @pytest.mark.parametrize("batched", [False, True])
+    def test_unwritten_lines_stay_unwritten(self, batched):
+        controller = _run_overflow_sequence(batched)
+        for slot in range(64):
+            written = controller.nvm.backend.is_written(slot * 64)
+            assert written == (slot in WRITTEN_SLOTS)
+
+    def test_overflow_mid_drain_matches_scalar(self):
+        """A baseline secure drain hits the overflow *while flushing*: the
+        batched page re-encryption must leave the same NVM image, stats,
+        and counter state as the scalar loop.
+
+        ``base-eu`` flushes metadata home at drain time, so the post-crash
+        counter fetch observes the overflow directly.
+        """
+
+        def run(batched: bool) -> SecureEpdSystem:
+            config = SystemConfig.scaled(512)
+            system = SecureEpdSystem(config, scheme="base-eu",
+                                     batched=batched)
+            for slot in WRITTEN_SLOTS:
+                system.controller.write(slot * 64, payload(slot + 1))
+            for slot in (1, 5, OVERFLOW_SLOT):
+                system.hierarchy.restore_dirty(slot * 64,
+                                               payload(0xA0 + slot))
+            _force_overflow(system.controller)
+            system.crash(seed=7)
+            return system
+
+        scalar = run(batched=False)
+        batched = run(batched=True)
+        assert batched.nvm.backend.image() == scalar.nvm.backend.image()
+        assert batched.stats.snapshot() == scalar.stats.snapshot()
+        assert scalar.controller.get_counter_line(0).value.major == 1
+        # The re-encrypted page still decrypts after power restoration.
+        for slot in (1, 5, OVERFLOW_SLOT):
+            assert scalar.controller.read(slot * 64) == \
+                payload(0xA0 + slot)
+        for slot in WRITTEN_SLOTS:
+            if slot != OVERFLOW_SLOT:
+                assert scalar.controller.read(slot * 64) == \
+                    payload(slot + 1)
+
+
+class TestDrainVictimsOrdering:
+    EXTRA = 8
+    """Dirty lines touched beyond one set's capacity (= victims parked)."""
+
+    def _fill_one_set(self, controller: SecureMemoryController
+                      ) -> tuple[list[int], list[int]]:
+        """Fill one counter-cache set past capacity with dirty lines.
+
+        Counter blocks of consecutive 4 KiB pages are contiguous, so pages
+        ``num_sets`` apart collide in one set.  Touching ``ways + EXTRA``
+        of them dirty overfills the set: every insert past ``ways`` evicts
+        that set's LRU line into the victim buffer.  Returns (data
+        addresses, counter-block addresses) in touch order.
+        """
+        num_sets = controller.counter_cache.config.num_sets
+        ways = controller.counter_cache.config.ways
+        data_addresses = [page * num_sets * 4096
+                          for page in range(ways + self.EXTRA)]
+        cb_addresses = []
+        for data_address in data_addresses:
+            line = controller.get_counter_line(data_address)
+            line.value.minors[0] = 1
+            line.dirty = True
+            cb_addresses.append(line.address)
+        return data_addresses, cb_addresses
+
+    def test_full_set_parks_victims_in_eviction_order(self):
+        controller = make_controller(batched=True)
+        _, touched = self._fill_one_set(controller)
+        parked = list(controller._victims)
+        # LRU eviction of an EXTRA-line overshoot parks the oldest lines,
+        # oldest first.
+        assert parked == touched[:self.EXTRA]
+
+    def test_drain_writes_back_in_fifo_order(self):
+        controller = make_controller(batched=True)
+        self._fill_one_set(controller)
+        expected = list(controller._victims)
+
+        written = []
+        nvm_write = controller.nvm.write
+
+        def recording_write(address, data, kind):
+            written.append(address)
+            return nvm_write(address, data, kind)
+
+        controller.nvm.write = recording_write
+        try:
+            controller.drain_victims()
+        finally:
+            controller.nvm.write = nvm_write
+
+        assert not controller._victims
+        ordered = [address for address in written
+                   if address in set(expected)]
+        assert ordered == expected
+
+    def test_drain_runs_cascades_to_fixed_point(self):
+        """Writing a counter back refreshes its parent tree slot, which can
+        evict the tree cache's own dirty victims mid-drain; the pass must
+        absorb them too."""
+        controller = make_controller(batched=True, scheme="eager")
+        self._fill_one_set(controller)
+        controller.drain_victims()
+        assert not controller._victims
+        assert not any(line.dirty for line in
+                       controller.counter_cache.lines()
+                       if line.address in controller._victims)
+
+    def test_victim_hit_reclaims_newest_copy(self):
+        """A lookup that hits the victim buffer absorbs the parked line
+        instead of fetching a stale copy from NVM."""
+        controller = make_controller(batched=True)
+        data_addresses, touched = self._fill_one_set(controller)
+        victim_cb = touched[0]
+        parked_line, _ = controller._victims[victim_cb]
+        line = controller.get_counter_line(data_addresses[0])
+        assert line is parked_line
+        assert victim_cb not in controller._victims

@@ -1,0 +1,105 @@
+"""The differential oracle: sampling semantics and zero divergence.
+
+The headline acceptance check for the batched hot paths: across every
+scheme variant the fault matrix sweeps (including vault rotation and
+writeback recovery), running the same seeded episode scalar and batched
+produces zero observable divergence — and when a divergence *is* planted,
+the oracle catches it and names the field.
+"""
+
+import pytest
+
+from repro.common.config import SystemConfig
+from repro.common.errors import OracleDivergenceError
+from repro.core import oracle
+from repro.crypto import batch
+from repro.faults.matrix import SCHEME_VARIANTS
+
+CONFIG = SystemConfig.scaled(512)
+
+
+def variant_id(variant):
+    scheme, rotate = variant
+    return f"{scheme}+rot" if rotate else scheme
+
+
+class TestZeroDivergence:
+    @pytest.mark.parametrize("variant", SCHEME_VARIANTS, ids=variant_id)
+    def test_fault_matrix_schemes_never_diverge(self, variant):
+        scheme, rotate = variant
+        kwargs = {"rotate_vault": True} if rotate else {}
+        outcome = oracle.run_differential(CONFIG, scheme, recover=True,
+                                          **kwargs)
+        assert outcome.drain is not None
+        assert outcome.checks >= 7
+
+    @pytest.mark.parametrize("fill", ["sparse", "sequential"])
+    def test_fill_modes_never_diverge(self, fill):
+        outcome = oracle.run_differential(CONFIG, "horus-slm", fill=fill,
+                                          recover=True)
+        assert outcome.drain is not None
+
+    def test_writeback_recovery_never_diverges(self):
+        outcome = oracle.run_differential(CONFIG, "horus-dlm", recover=True,
+                                          recovery_mode="writeback")
+        assert outcome.recovery is not None
+
+    def test_planted_divergence_is_caught(self, monkeypatch):
+        """Corrupt one batched MAC: the oracle must refuse the episode and
+        name a diverging observable."""
+        real = batch.compute_block_macs
+
+        def corrupted(key, buffer, addresses, counters, domain,
+                      frames=None):
+            macs = real(key, buffer, addresses, counters, domain, frames)
+            if macs:
+                macs[-1] = bytes(len(macs[-1]))
+            return macs
+
+        monkeypatch.setattr(batch, "compute_block_macs", corrupted)
+        with pytest.raises(OracleDivergenceError, match="diverged on"):
+            oracle.run_differential(CONFIG, "horus-slm", recover=True)
+
+
+class TestSampling:
+    @pytest.fixture(autouse=True)
+    def _reset_counter(self, monkeypatch):
+        monkeypatch.setattr(oracle, "_EPISODES_SEEN", 0)
+
+    def test_off_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ORACLE", raising=False)
+        assert oracle.oracle_interval() == 0
+        assert not oracle.should_check()
+
+    def test_zero_disables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ORACLE", "0")
+        assert not any(oracle.should_check() for _ in range(5))
+
+    def test_one_checks_every_episode(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ORACLE", "1")
+        assert all(oracle.should_check() for _ in range(5))
+
+    def test_interval_checks_every_nth(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ORACLE", "3")
+        decisions = [oracle.should_check() for _ in range(9)]
+        assert decisions == [False, False, True] * 3
+
+    def test_non_integer_means_every_episode(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ORACLE", "yes")
+        assert oracle.oracle_interval() == 1
+
+
+class TestRunEpisodeIntegration:
+    def test_sampled_episode_substitutes_transparently(self, monkeypatch):
+        """A differential run returns the same report a plain run would."""
+        from repro.experiments.suite import run_episode
+
+        monkeypatch.delenv("REPRO_ORACLE", raising=False)
+        plain = run_episode(CONFIG, "horus-dlm")
+        monkeypatch.setenv("REPRO_ORACLE", "1")
+        monkeypatch.setattr(oracle, "_EPISODES_SEEN", 0)
+        checked = run_episode(CONFIG, "horus-dlm")
+        assert checked.flushed_blocks == plain.flushed_blocks
+        assert checked.metadata_blocks == plain.metadata_blocks
+        assert checked.cycles == plain.cycles
+        assert checked.stats.snapshot() == plain.stats.snapshot()

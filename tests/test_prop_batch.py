@@ -1,0 +1,193 @@
+"""Property-based equivalence: batched crypto primitives vs the scalar spec.
+
+The scalar primitives in :mod:`repro.crypto.primitives` are the
+specification; everything in :mod:`repro.crypto.batch` (and the batch
+methods of the timed engines) must match them byte for byte on every input
+— including the awkward ones: empty batches, singletons, and work lists
+that repeat the same address (the drain never produces those, but the
+primitives must not care).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.constants import CACHE_LINE_SIZE, MAC_SIZE
+from repro.crypto import batch
+from repro.crypto.engine import AesEngine, MacEngine
+from repro.crypto.primitives import (
+    MacDomain,
+    compute_mac,
+    encrypt_block,
+    generate_pad,
+    int_field,
+    xor_block,
+)
+from repro.stats.counters import SimStats
+from repro.stats.events import MacKind
+from tests.conftest import examples
+
+keys = st.binary(min_size=1, max_size=64)
+addresses = st.integers(0, 2**64 - 1)
+counters = st.integers(0, 2**128 - 1)
+blocks = st.binary(min_size=CACHE_LINE_SIZE, max_size=CACHE_LINE_SIZE)
+domains = st.sampled_from(MacDomain)
+
+
+@st.composite
+def work_lists(draw, min_size=0, max_size=12):
+    """(addresses, counters) of equal length; duplicates are likely.
+
+    Addresses draw from a tiny pool so that most multi-element lists
+    repeat at least one address — the degenerate case the batch forms must
+    handle identically to scalar iteration.
+    """
+    pool = draw(st.lists(addresses, min_size=1, max_size=3))
+    size = draw(st.integers(min_size, max_size))
+    addr_list = draw(st.lists(st.sampled_from(pool), min_size=size,
+                              max_size=size))
+    ctr_list = draw(st.lists(counters, min_size=size, max_size=size))
+    return addr_list, ctr_list
+
+
+class TestPadEquivalence:
+    @given(key=keys, work=work_lists())
+    @settings(max_examples=examples(100))
+    def test_generate_pads_matches_scalar(self, key, work):
+        addrs, ctrs = work
+        pads = batch.generate_pads(key, addrs, ctrs)
+        assert len(pads) == CACHE_LINE_SIZE * len(addrs)
+        for i, (address, counter) in enumerate(zip(addrs, ctrs)):
+            assert pads[i * 64:(i + 1) * 64] == \
+                generate_pad(key, address, counter)
+
+    @given(key=keys, work=work_lists())
+    @settings(max_examples=examples(50))
+    def test_shared_frames_change_nothing(self, key, work):
+        addrs, ctrs = work
+        frames = batch.counter_frames(addrs, ctrs)
+        assert batch.generate_pads(key, addrs, ctrs, frames) == \
+            batch.generate_pads(key, addrs, ctrs)
+
+    @given(a=blocks, b=blocks)
+    @settings(max_examples=examples(100))
+    def test_xor_buffers_matches_xor_block(self, a, b):
+        assert batch.xor_buffers(a, b) == xor_block(a, b)
+
+    @given(buffers=st.integers(0, 8).flatmap(
+        lambda n: st.tuples(st.binary(min_size=n, max_size=n),
+                            st.binary(min_size=n, max_size=n))))
+    @settings(max_examples=examples(100))
+    def test_xor_buffers_is_an_involution(self, buffers):
+        a, b = buffers
+        assert batch.xor_buffers(batch.xor_buffers(a, b), b) == a
+
+
+class TestEncryptionEquivalence:
+    @given(key=keys, work=work_lists(), data=st.data())
+    @settings(max_examples=examples(100))
+    def test_encrypt_blocks_matches_scalar(self, key, work, data):
+        addrs, ctrs = work
+        plain = [data.draw(blocks) for _ in addrs]
+        ciphertext = batch.encrypt_blocks(key, addrs, ctrs, b"".join(plain))
+        for i, (address, counter) in enumerate(zip(addrs, ctrs)):
+            assert ciphertext[i * 64:(i + 1) * 64] == \
+                encrypt_block(key, address, counter, plain[i])
+
+    @given(key=keys, work=work_lists(), data=st.data())
+    @settings(max_examples=examples(50))
+    def test_decrypt_inverts_encrypt(self, key, work, data):
+        addrs, ctrs = work
+        plain = b"".join(data.draw(blocks) for _ in addrs)
+        ciphertext = batch.encrypt_blocks(key, addrs, ctrs, plain)
+        assert batch.decrypt_blocks(key, addrs, ctrs, ciphertext) == plain
+
+
+class TestMacEquivalence:
+    @given(key=keys, domain=domains, work=work_lists(), data=st.data())
+    @settings(max_examples=examples(100))
+    def test_compute_block_macs_matches_scalar(self, key, domain, work,
+                                               data):
+        addrs, ctrs = work
+        buffer = b"".join(data.draw(blocks) for _ in addrs)
+        macs = batch.compute_block_macs(key, buffer, addrs, ctrs, domain)
+        assert len(macs) == len(addrs)
+        for i, (address, counter) in enumerate(zip(addrs, ctrs)):
+            assert macs[i] == compute_mac(
+                key, buffer[i * 64:(i + 1) * 64], int_field(address),
+                int_field(counter, 16), domain=domain)
+
+    @given(key=keys, domain=domains,
+           items=st.lists(st.lists(st.binary(max_size=80), max_size=3)
+                          .map(tuple), max_size=8))
+    @settings(max_examples=examples(100))
+    def test_compute_macs_matches_scalar(self, key, domain, items):
+        macs = batch.compute_macs(key, items, domain=domain)
+        assert macs == [compute_mac(key, *parts, domain=domain)
+                        for parts in items]
+
+    @given(key=keys, domain=domains, address=addresses, counter=counters,
+           block=blocks)
+    @settings(max_examples=examples(50))
+    def test_domains_separate_batched_macs(self, key, domain, address,
+                                           counter, block):
+        """Equal inputs under different domains never collide (the scalar
+        guarantee, preserved by the batch form)."""
+        values = {batch.compute_block_macs(key, block, [address], [counter],
+                                           d)[0]
+                  for d in MacDomain}
+        assert len(values) == len(MacDomain)
+
+
+class TestEngineBatchEquivalence:
+    """The timed engines' batch methods: same bytes, same accounting."""
+
+    @given(work=work_lists(), data=st.data())
+    @settings(max_examples=examples(50))
+    def test_aes_engine_batch_matches_scalar(self, work, data):
+        addrs, ctrs = work
+        plain = [data.draw(blocks) for _ in addrs]
+        scalar_stats, batch_stats = SimStats(), SimStats()
+        scalar_engine = AesEngine(scalar_stats)
+        batch_engine = AesEngine(batch_stats)
+        expected = [scalar_engine.encrypt(a, c, p)
+                    for a, c, p in zip(addrs, ctrs, plain)]
+        ciphertext = batch_engine.encrypt_batch(addrs, ctrs,
+                                                b"".join(plain))
+        assert batch.split_blocks(ciphertext or b"") == expected
+        assert batch_stats.snapshot() == scalar_stats.snapshot()
+
+    @given(kind=st.sampled_from([MacKind.CHV_DATA, MacKind.DATA_PROTECT]),
+           work=work_lists(), data=st.data())
+    @settings(max_examples=examples(50))
+    def test_mac_engine_batch_matches_scalar(self, kind, work, data):
+        addrs, ctrs = work
+        cipher = [data.draw(blocks) for _ in addrs]
+        scalar_stats, batch_stats = SimStats(), SimStats()
+        scalar_engine = MacEngine(scalar_stats)
+        batch_engine = MacEngine(batch_stats)
+        expected = [scalar_engine.block_mac(kind, block, a, c)
+                    for block, a, c in zip(cipher, addrs, ctrs)]
+        macs = batch_engine.block_mac_batch(kind, b"".join(cipher),
+                                            addrs, ctrs)
+        assert macs == expected
+        assert batch_stats.snapshot() == scalar_stats.snapshot()
+
+    @given(work=work_lists(min_size=1), data=st.data())
+    @settings(max_examples=examples(25))
+    def test_non_functional_batch_matches_scalar(self, work, data):
+        addrs, ctrs = work
+        cipher = [data.draw(blocks) for _ in addrs]
+        scalar_engine = MacEngine(SimStats(), functional=False)
+        batch_engine = MacEngine(SimStats(), functional=False)
+        expected = [scalar_engine.block_mac(MacKind.CHV_DATA, block, a, c)
+                    for block, a, c in zip(cipher, addrs, ctrs)]
+        assert batch_engine.block_mac_batch(
+            MacKind.CHV_DATA, b"".join(cipher), addrs, ctrs) == expected
+        assert expected == [bytes(MAC_SIZE)] * len(addrs)
+
+
+class TestSplitBlocks:
+    @given(parts=st.lists(blocks, max_size=8))
+    @settings(max_examples=examples(50))
+    def test_split_inverts_join(self, parts):
+        assert batch.split_blocks(b"".join(parts)) == parts

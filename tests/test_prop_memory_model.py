@@ -6,11 +6,12 @@ a read returns the most recent write.  Hypothesis drives random operation
 sequences against each system flavour and a plain dict reference.
 """
 
-from hypothesis import HealthCheck, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.common.config import SystemConfig
 from repro.core.system import SecureEpdSystem
+from tests.conftest import examples
 
 CONFIG = SystemConfig.scaled(512)
 
@@ -21,8 +22,7 @@ payloads = st.binary(min_size=64, max_size=64)
 op_sequences = st.lists(
     st.tuples(st.booleans(), addresses, payloads), min_size=1, max_size=120)
 
-SLOW = settings(max_examples=25, deadline=None,
-                suppress_health_check=[HealthCheck.too_slow])
+SLOW = settings(max_examples=examples(25))
 
 
 def _run_against_reference(system, ops):
@@ -64,8 +64,7 @@ class TestFlatMemoryContract:
 
 class TestContractAcrossCrashes:
     @given(ops=op_sequences, crash_point=st.integers(0, 119))
-    @settings(max_examples=20, deadline=None,
-              suppress_health_check=[HealthCheck.too_slow])
+    @settings(max_examples=examples(20))
     def test_horus_crash_anywhere_preserves_the_map(self, ops, crash_point):
         """Crash after an arbitrary prefix of the workload: the recovered
         system must still satisfy the flat-memory contract."""

@@ -2,11 +2,12 @@
 Horus crash/recover cycle bit-exactly, and the secure controller stores any
 payload faithfully."""
 
-from hypothesis import HealthCheck, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.common.config import SystemConfig
 from repro.core.system import SecureEpdSystem
+from tests.conftest import examples
 
 CONFIG = SystemConfig.scaled(512)
 
@@ -25,8 +26,7 @@ def dirty_contents(draw):
 class TestHorusRoundtripProperties:
     @given(contents=dirty_contents(),
            scheme=st.sampled_from(["horus-slm", "horus-dlm"]))
-    @settings(max_examples=30, deadline=None,
-              suppress_health_check=[HealthCheck.too_slow])
+    @settings(max_examples=examples(30))
     def test_arbitrary_dirty_state_survives_crash(self, contents, scheme):
         system = SecureEpdSystem(CONFIG, scheme=scheme)
         for address, data in contents.items():
@@ -38,8 +38,7 @@ class TestHorusRoundtripProperties:
         assert restored == contents
 
     @given(contents=dirty_contents())
-    @settings(max_examples=20, deadline=None,
-              suppress_health_check=[HealthCheck.too_slow])
+    @settings(max_examples=examples(20))
     def test_vault_never_stores_plaintext(self, contents):
         system = SecureEpdSystem(CONFIG, scheme="horus-slm")
         for address, data in contents.items():
@@ -53,8 +52,7 @@ class TestHorusRoundtripProperties:
 
 class TestControllerRoundtripProperties:
     @given(contents=dirty_contents())
-    @settings(max_examples=20, deadline=None,
-              suppress_health_check=[HealthCheck.too_slow])
+    @settings(max_examples=examples(20))
     def test_secure_writes_read_back(self, contents):
         from tests.test_secure_controller import make_controller
         controller = make_controller("lazy")

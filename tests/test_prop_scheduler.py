@@ -4,6 +4,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.common.config import SystemConfig
+from tests.conftest import examples
 from repro.mem.banking import BankGeometry, replay_makespan
 from repro.mem.scheduler import schedule_trace
 
@@ -37,13 +38,13 @@ def _lower_bound(trace, geometry) -> float:
 
 class TestSchedulingBounds:
     @given(trace=traces, geometry=geometries)
-    @settings(max_examples=80, deadline=None)
+    @settings(max_examples=examples(80))
     def test_replay_respects_the_lower_bound(self, trace, geometry):
         result = replay_makespan(trace, CONFIG, geometry)
         assert result.makespan_ns >= _lower_bound(trace, geometry) - 1e-6
 
     @given(trace=traces, geometry=geometries)
-    @settings(max_examples=80, deadline=None)
+    @settings(max_examples=examples(80))
     def test_replay_respects_the_serial_upper_bound(self, trace, geometry):
         serial = sum(_latency(w) for _, w in trace) \
             + len(trace) * geometry.command_slot_ns
@@ -52,20 +53,20 @@ class TestSchedulingBounds:
 
     @given(trace=traces, geometry=geometries,
            window=st.sampled_from([1, 4, 32]))
-    @settings(max_examples=60, deadline=None, derandomize=True)
+    @settings(max_examples=examples(60), derandomize=True)
     def test_frfcfs_never_loses_to_fcfs(self, trace, geometry, window):
         fcfs = schedule_trace(trace, CONFIG, geometry, "fcfs", window)
         frfcfs = schedule_trace(trace, CONFIG, geometry, "frfcfs", window)
         assert frfcfs.makespan_ns <= fcfs.makespan_ns + 1e-6
 
     @given(trace=traces, geometry=geometries)
-    @settings(max_examples=60, deadline=None)
+    @settings(max_examples=examples(60))
     def test_scheduler_also_respects_the_lower_bound(self, trace, geometry):
         result = schedule_trace(trace, CONFIG, geometry, "frfcfs")
         assert result.makespan_ns >= _lower_bound(trace, geometry) - 1e-6
 
     @given(trace=traces)
-    @settings(max_examples=40, deadline=None)
+    @settings(max_examples=examples(40))
     def test_single_bank_equals_serialized_time(self, trace):
         geometry = BankGeometry(1, 1, command_slot_ns=0)
         serial = sum(_latency(w) for _, w in trace)
