@@ -2,10 +2,27 @@
 
 PYTHON ?= python
 
-.PHONY: test bench bench-full experiments experiments-full examples lint clean
+.PHONY: test bench bench-full experiments experiments-full examples lint typecheck clean
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# reprolint is stdlib-only and always runs; ruff/mypy are optional dev tools
+# (CI installs them) and are skipped with a notice when absent locally.
+lint:
+	PYTHONPATH=src $(PYTHON) -m repro.lint src tests
+	@if $(PYTHON) -c "import ruff" 2>/dev/null || command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests; \
+	else \
+		echo "ruff not installed; skipping (CI runs it)"; \
+	fi
+
+typecheck:
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy; \
+	else \
+		echo "mypy not installed; skipping (CI runs it)"; \
+	fi
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

@@ -30,7 +30,7 @@ class SecurityError(ReproError):
 class IntegrityError(SecurityError):
     """A MAC or Merkle-tree verification failed (tamper / corruption)."""
 
-    def __init__(self, message: str, address: int | None = None):
+    def __init__(self, message: str, address: int | None = None) -> None:
         super().__init__(message)
         self.address = address
 

@@ -44,6 +44,7 @@ from repro.core.chv import (
 from repro.crypto.batch import batching_enabled, counter_frames, split_blocks
 from repro.crypto.counters import DrainCounter
 from repro.crypto.engine import AesEngine, MacEngine
+from repro.crypto.primitives import MacDomain
 from repro.epd.drain import DrainEngine
 from repro.mem.nvm import NvmDevice
 from repro.secure.controller import SecureMemoryController
@@ -142,7 +143,8 @@ class HorusDrainEngine(DrainEngine):
         ciphertext = self._aes.encrypt_batch(addresses, counters, plaintext,
                                              frames)
         macs = self._mac.block_mac_batch(
-            MacKind.CHV_DATA, ciphertext, addresses, counters, frames=frames)
+            MacKind.CHV_DATA, ciphertext, addresses, counters,
+            domain=MacDomain.CHV_DATA, frames=frames)
         if ciphertext is None:
             data_payloads: list[bytes] = [_ZERO_BLOCK] * count
         else:
@@ -153,7 +155,8 @@ class HorusDrainEngine(DrainEngine):
             groups = [b"".join(macs[i:i + MACS_PER_BLOCK])
                       for i in range(0, count, MACS_PER_BLOCK)]
             level2 = self._mac.digest_mac_batch(
-                MacKind.CHV_LEVEL2, groups, len(groups))
+                MacKind.CHV_LEVEL2, groups, len(groups),
+                domain=MacDomain.CHV_LEVEL2)
 
         data_addresses = chv.data_addresses(rotation.data_slots(count))
         data_writes = list(zip(data_addresses, data_payloads, kinds))
@@ -274,7 +277,8 @@ class HorusDrainEngine(DrainEngine):
             self._write_address_block(state)
 
         mac_value = self._mac.block_mac(
-            MacKind.CHV_DATA, ciphertext, address, counter)
+            MacKind.CHV_DATA, ciphertext, address, counter,
+            domain=MacDomain.CHV_DATA)
         state.mac_register.append(mac_value)
         if len(state.mac_register) == MACS_PER_BLOCK:
             if self._dlm:
@@ -288,7 +292,8 @@ class HorusDrainEngine(DrainEngine):
     def _fold_mac_register(self, state: "_EpisodeState") -> None:
         """DLM: compress the 8-entry MAC register into one second-level MAC."""
         second = self._mac.digest_mac(
-            MacKind.CHV_LEVEL2, b"".join(state.mac_register))
+            MacKind.CHV_LEVEL2, b"".join(state.mac_register),
+            domain=MacDomain.CHV_LEVEL2)
         state.mac_register = []
         state.level2_register.append(second)
         if len(state.level2_register) == MACS_PER_BLOCK:
@@ -330,7 +335,8 @@ class HorusDrainEngine(DrainEngine):
 
     def _fold_mac_register_partial(self, state: "_EpisodeState") -> None:
         second = self._mac.digest_mac(
-            MacKind.CHV_LEVEL2, b"".join(state.mac_register))
+            MacKind.CHV_LEVEL2, b"".join(state.mac_register),
+            domain=MacDomain.CHV_LEVEL2)
         state.mac_register = []
         state.level2_register.append(second)
 

@@ -73,7 +73,7 @@ def generate_pads(key: bytes, addresses: Sequence[int],
     base = hashlib.blake2b(key=key, digest_size=CACHE_LINE_SIZE)
     base.update(PAD_DOMAIN)
     fork = base.copy
-    pads = []
+    pads: list[bytes] = []
     append = pads.append
     for frame in frames:
         h = fork()
@@ -130,7 +130,7 @@ def compute_macs(key: bytes, items: Iterable[tuple[bytes, ...]],
     base.update(MAC_DOMAIN)
     base.update(domain.value)
     fork = base.copy
-    macs = []
+    macs: list[bytes] = []
     append = macs.append
     for parts in items:
         h = fork()
@@ -161,7 +161,7 @@ def compute_block_macs(key: bytes, buffer: bytes, addresses: Sequence[int],
     base.update(MAC_DOMAIN)
     base.update(domain.value)
     fork = base.copy
-    macs = []
+    macs: list[bytes] = []
     append = macs.append
     offset = 0
     for frame in frames:

@@ -106,7 +106,7 @@ class DrainCounter:
     what makes CHV pads unique without any persisted per-block counters.
     """
 
-    def __init__(self, initial: int = 0):
+    def __init__(self, initial: int = 0) -> None:
         if initial < 0:
             raise CounterOverflowError("drain counter cannot be negative")
         self._dc = initial

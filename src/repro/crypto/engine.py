@@ -33,7 +33,7 @@ class AesEngine:
     """Counter-mode encryption engine (one pad generation per operation)."""
 
     def __init__(self, stats: SimStats, key: bytes = DEFAULT_AES_KEY,
-                 functional: bool = True):
+                 functional: bool = True) -> None:
         self._stats = stats
         self._key = key
         self.functional = functional
@@ -86,7 +86,7 @@ class MacEngine:
     """MAC engine; every call is one hash-latency operation."""
 
     def __init__(self, stats: SimStats, key: bytes = DEFAULT_MAC_KEY,
-                 functional: bool = True):
+                 functional: bool = True) -> None:
         self._stats = stats
         self._key = key
         self.functional = functional

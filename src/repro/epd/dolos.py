@@ -66,7 +66,8 @@ class DolosAdrSystem(AdrSecureSystem):
         counter = self._msu_counter.next()
         ciphertext = self.controller.aes.encrypt(address, counter, line.data)
         self.controller.mac.block_mac(MacKind.CHV_DATA, ciphertext,
-                                      address, counter)
+                                      address, counter,
+                                      domain=MacDomain.CHV_DATA)
         entry = self._staging.block_at((counter % self._ring_slots) * 2)
         self.nvm.write(entry, address.to_bytes(8, "little")
                        .ljust(CACHE_LINE_SIZE, b"\0"), WriteKind.CHV_ADDRESS)

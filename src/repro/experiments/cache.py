@@ -23,6 +23,7 @@ the cache never turns a readable-but-wrong file into a crash.
 
 import hashlib
 import json
+import logging
 import os
 import pickle
 from dataclasses import asdict
@@ -31,8 +32,27 @@ from pathlib import Path
 
 from repro.common.config import SystemConfig
 
+logger = logging.getLogger(__name__)
+
 CACHE_FORMAT = 1
 DEFAULT_CACHE_DIR = Path("results") / ".cache"
+
+CACHE_LOAD_ERRORS = (
+    OSError,              # unreadable file / permission / truncated read
+    EOFError,             # truncated pickle stream
+    pickle.UnpicklingError,
+    ValueError,           # key/format mismatch raised below, bad pickle data
+    KeyError,             # entry dict missing "payload"
+    IndexError,           # corrupted pickle opcodes
+    TypeError,            # entry is not subscriptable / wrong shapes
+    AttributeError,       # payload class no longer importable as pickled
+    ImportError,          # payload module no longer importable
+    MemoryError,          # absurd length prefix in a corrupted stream
+    UnicodeDecodeError,   # corrupted string opcodes
+)
+"""Everything a corrupt, truncated, or stale cache entry can raise while
+being loaded.  Deliberately *not* ``Exception``: a programming error in the
+simulator must crash the run, only bad bytes on disk may become a miss."""
 
 
 @lru_cache(maxsize=1)
@@ -115,6 +135,8 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.corrupt = 0
+        """Misses caused by an unreadable/corrupt entry (subset of misses)."""
 
     def _path(self, key: str) -> Path:
         return self.root / f"{key}.pkl"
@@ -136,10 +158,14 @@ class ResultCache:
         except FileNotFoundError:
             self.misses += 1
             return None
-        except Exception:
-            # Truncated/corrupted/stale-format files are silently dropped:
-            # recomputing is always safe, crashing never is.
+        except CACHE_LOAD_ERRORS as exc:
+            # Truncated/corrupted/stale-format files become misses (and are
+            # removed): recomputing is always safe, crashing never is.  The
+            # reason is logged so a recurring corruption source is visible.
             self.misses += 1
+            self.corrupt += 1
+            logger.warning("cache miss: dropping corrupt entry %s (%s: %s)",
+                           path, type(exc).__name__, exc)
             try:
                 path.unlink()
             except OSError:
@@ -175,13 +201,14 @@ class ResultCache:
 
     def counters(self) -> dict:
         return {"hits": self.hits, "misses": self.misses,
-                "stores": self.stores}
+                "stores": self.stores, "corrupt": self.corrupt}
 
     def absorb_counters(self, counters: dict) -> None:
         """Fold a worker process's counters into this (parent) cache."""
         self.hits += counters.get("hits", 0)
         self.misses += counters.get("misses", 0)
         self.stores += counters.get("stores", 0)
+        self.corrupt += counters.get("corrupt", 0)
 
     def spec(self) -> dict:
         """Picklable constructor arguments for rebuilding in a worker."""

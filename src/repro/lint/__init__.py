@@ -1,0 +1,43 @@
+"""reprolint: simulator-invariant static analysis for the Horus reproduction.
+
+The two worst bug classes this repository has fixed — MAC domain mixing and
+batched-vs-scalar observable drift — were both visible in the AST long before
+any fault matrix or differential oracle caught them at run time.  This package
+encodes those invariants (and a few more) as machine-checked rules so they
+survive aggressive refactors:
+
+``R1`` determinism
+    no wall-clock or entropy imports inside the simulator core packages;
+``R2`` MAC domain separation
+    every MAC computation names its :class:`~repro.crypto.primitives.MacDomain`
+    with an explicit ``domain=`` keyword;
+``R3`` batch parity
+    every public ``*_batch``/``*_blocks`` method has a same-class scalar twin
+    and an entry in the batch-equivalence coverage map;
+``R4`` exception hygiene
+    no bare/broad ``except`` that swallows (re-raising handlers are fine);
+``R5`` magic timing/energy numbers
+    Table I/II constants must come from :mod:`repro.common.constants`;
+``R6`` stats accounting
+    NVM data movement must go through the accounted
+    :class:`~repro.mem.nvm.NvmDevice` interface, never the raw backend.
+
+Run it as ``python -m repro.lint src tests`` (exit 0 = clean); see
+``docs/linting.md`` for rule details, suppression syntax
+(``# reprolint: disable=R4``), and how to add a rule.
+"""
+
+from repro.lint.core import RULES, Finding, Module, Project, Rule, register
+from repro.lint.runner import LintResult, lint_paths, main
+
+__all__ = [
+    "RULES",
+    "Finding",
+    "LintResult",
+    "Module",
+    "Project",
+    "Rule",
+    "lint_paths",
+    "main",
+    "register",
+]

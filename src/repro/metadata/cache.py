@@ -32,7 +32,7 @@ class MetaLine:
 class MetadataCache:
     """Set-associative, true-LRU cache of metadata objects keyed by address."""
 
-    def __init__(self, config: CacheConfig):
+    def __init__(self, config: CacheConfig) -> None:
         self._config = config
         self._sets: list[OrderedDict[int, MetaLine]] = [
             OrderedDict() for _ in range(config.num_sets)
@@ -48,7 +48,7 @@ class MetadataCache:
     def name(self) -> str:
         return self._config.name
 
-    def _set_for(self, address: int) -> OrderedDict:
+    def _set_for(self, address: int) -> OrderedDict[int, MetaLine]:
         return self._sets[(address // CACHE_LINE_SIZE) % self._config.num_sets]
 
     def lookup(self, address: int) -> MetaLine | None:
@@ -64,7 +64,7 @@ class MetadataCache:
     def insert(self, line: MetaLine) -> MetaLine | None:
         """Install ``line``, returning the evicted victim if the set was full."""
         cache_set = self._set_for(line.address)
-        victim = None
+        victim: MetaLine | None = None
         if line.address in cache_set:
             cache_set[line.address] = line
             cache_set.move_to_end(line.address)

@@ -8,14 +8,14 @@ NVM-resident Bonsai tree logic in :mod:`repro.secure`.
 from collections.abc import Sequence
 
 from repro.common.errors import ConfigError, IntegrityError
-from repro.crypto.primitives import compute_mac
+from repro.crypto.primitives import MacDomain, compute_mac
 
 
 class InMemoryMerkleTree:
     """An eager, fully materialized hash tree over a list of leaf payloads."""
 
     def __init__(self, leaves: Sequence[bytes], arity: int = 8,
-                 key: bytes = b"repro-merkle"):
+                 key: bytes = b"repro-merkle") -> None:
         if arity < 2:
             raise ConfigError(f"arity must be >= 2, got {arity}")
         if not leaves:
@@ -27,7 +27,7 @@ class InMemoryMerkleTree:
         self._build()
 
     def _hash_group(self, group: Sequence[bytes]) -> bytes:
-        return compute_mac(self._key, *group)
+        return compute_mac(self._key, *group, domain=MacDomain.NODE)
 
     def _build(self) -> None:
         self._levels = [[self._hash_group([leaf]) for leaf in self._leaves]]

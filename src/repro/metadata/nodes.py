@@ -20,7 +20,7 @@ class TreeNode:
 
     __slots__ = ("_data",)
 
-    def __init__(self, data: bytes | None = None):
+    def __init__(self, data: bytes | None = None) -> None:
         if data is None:
             self._data = bytearray(CACHE_LINE_SIZE)
         else:
@@ -63,7 +63,7 @@ class DefaultNodes:
     key, outside any accounted episode (boot-time initialization).
     """
 
-    def __init__(self, mac_key: bytes, num_levels: int):
+    def __init__(self, mac_key: bytes, num_levels: int) -> None:
         self._contents: list[bytes] = [bytes(CACHE_LINE_SIZE)]
         self._macs: list[bytes] = [self._digest(mac_key, self._contents[0])]
         for _ in range(num_levels):

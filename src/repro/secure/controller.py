@@ -25,6 +25,7 @@ from repro.common.errors import ConfigError, IntegrityError
 from repro.crypto.batch import batching_enabled
 from repro.crypto.counters import SplitCounterBlock
 from repro.crypto.engine import AesEngine, MacEngine
+from repro.crypto.primitives import MacDomain
 from repro.mem.nvm import NvmDevice
 from repro.mem.regions import MemoryLayout
 from repro.metadata.cache import MetadataCache, MetaLine
@@ -105,7 +106,8 @@ class SecureMemoryController:
         counter = block.counter_for(slot)
         ciphertext = self.aes.encrypt(address, counter, plaintext)
         mac_value = self.mac.block_mac(
-            MacKind.DATA_PROTECT, ciphertext, address, counter)
+            MacKind.DATA_PROTECT, ciphertext, address, counter,
+            domain=MacDomain.DATA)
         self._store_data_mac(address, mac_value)
         self.nvm.write(address, ciphertext if ciphertext is not None
                        else _ZERO_BLOCK, WriteKind.DATA)
@@ -126,7 +128,8 @@ class SecureMemoryController:
 
         stored_mac = self._load_data_mac(address)
         actual_mac = self.mac.block_mac(
-            MacKind.VERIFY, ciphertext, address, counter)
+            MacKind.VERIFY, ciphertext, address, counter,
+            domain=MacDomain.DATA)
         if self.functional and stored_mac != actual_mac:
             raise IntegrityError(
                 f"data MAC mismatch at {address:#x}", address)
@@ -151,7 +154,8 @@ class SecureMemoryController:
             return buffered
 
         raw = self.nvm.read(cb_address, ReadKind.COUNTER)
-        actual = self.mac.digest_mac(MacKind.VERIFY, raw)
+        actual = self.mac.digest_mac(MacKind.VERIFY, raw,
+                                     domain=MacDomain.NODE)
         expected = self._counter_slot_mac(cb_address)
         if self.functional and actual != expected:
             raise IntegrityError(
@@ -169,7 +173,8 @@ class SecureMemoryController:
     def _writeback_counter(self, line: MetaLine) -> None:
         if self.scheme.needs_parent_update_on_writeback():
             content = line.value.to_bytes()
-            new_mac = self.mac.digest_mac(MacKind.TREE_UPDATE, content)
+            new_mac = self.mac.digest_mac(MacKind.TREE_UPDATE, content,
+                                          domain=MacDomain.NODE)
             level, index, slot = self.layout.parent_of_counter_block(
                 line.address)
             parent = self.get_tree_node(level, index)
@@ -199,7 +204,8 @@ class SecureMemoryController:
         raw = self.nvm.read(address, ReadKind.TREE_NODE)
         if not self.nvm.backend.is_written(address):
             raw = self._defaults.content(level)
-        actual = self.mac.digest_mac(MacKind.VERIFY, raw)
+        actual = self.mac.digest_mac(MacKind.VERIFY, raw,
+                                     domain=MacDomain.NODE)
         expected = self._node_parent_mac(level, index)
         if self.functional and actual != expected:
             raise IntegrityError(
@@ -220,7 +226,8 @@ class SecureMemoryController:
         level, index = self.layout.tree_node_coords(line.address)
         content = line.value.to_bytes()
         if self.scheme.needs_parent_update_on_writeback():
-            new_mac = self.mac.digest_mac(MacKind.TREE_UPDATE, content)
+            new_mac = self.mac.digest_mac(MacKind.TREE_UPDATE, content,
+                                          domain=MacDomain.NODE)
             if level == self.layout.num_tree_levels:
                 self.root_mac = new_mac
             else:
@@ -234,7 +241,8 @@ class SecureMemoryController:
     def propagate_to_root(self, counter_line: MetaLine) -> None:
         """Eager-scheme path refresh: counter block up to the root register."""
         content_mac = self.mac.digest_mac(
-            MacKind.TREE_UPDATE, counter_line.value.to_bytes())
+            MacKind.TREE_UPDATE, counter_line.value.to_bytes(),
+            domain=MacDomain.NODE)
         level, index, slot = self.layout.parent_of_counter_block(
             counter_line.address)
         while True:
@@ -242,7 +250,8 @@ class SecureMemoryController:
             node.value.set_slot(slot, content_mac)
             node.dirty = True
             content_mac = self.mac.digest_mac(
-                MacKind.TREE_UPDATE, node.value.to_bytes())
+                MacKind.TREE_UPDATE, node.value.to_bytes(),
+                domain=MacDomain.NODE)
             if level == self.layout.num_tree_levels:
                 self.root_mac = content_mac
                 return
@@ -342,7 +351,7 @@ class SecureMemoryController:
                 line_address, new.counter_for(slot), plaintext)
             mac_value = self.mac.block_mac(
                 MacKind.DATA_PROTECT, new_ct, line_address,
-                new.counter_for(slot))
+                new.counter_for(slot), domain=MacDomain.DATA)
             self._store_data_mac(line_address, mac_value)
             self.nvm.write(line_address,
                            new_ct if new_ct is not None else _ZERO_BLOCK,
@@ -375,7 +384,8 @@ class SecureMemoryController:
         new_ct = self.aes.encrypt_batch(line_addresses, new_counters,
                                         plaintext)
         macs = self.mac.block_mac_batch(
-            MacKind.DATA_PROTECT, new_ct, line_addresses, new_counters)
+            MacKind.DATA_PROTECT, new_ct, line_addresses, new_counters,
+            domain=MacDomain.DATA)
         for line_address, mac_value in zip(line_addresses, macs):
             self._store_data_mac(line_address, mac_value)
         self.nvm.write_batch([

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from repro.common.constants import CACHE_LINE_SIZE, COUNTER_BLOCK_COVERAGE
 from repro.common.errors import ConfigError, RecoveryError
 from repro.crypto.counters import SplitCounterBlock
+from repro.crypto.primitives import MacDomain
 from repro.secure.schemes import LazyUpdateScheme
 from repro.stats.counters import SimStats
 from repro.stats.events import MacKind, ReadKind, WriteKind
@@ -144,7 +145,8 @@ class OsirisRecovery:
                     trials += 1
                     candidate = base_value + delta
                     mac = controller.mac.block_mac(
-                        MacKind.VERIFY, ciphertext, data_address, candidate)
+                        MacKind.VERIFY, ciphertext, data_address, candidate,
+                        domain=MacDomain.DATA)
                     if controller.mac.verify_equal(stored_mac, mac):
                         if delta:
                             self._apply_delta(block, slot, delta)
@@ -192,7 +194,8 @@ class OsirisRecovery:
             raw = controller.nvm.read(cb_address, ReadKind.COUNTER)
             level, index, slot = layout.parent_of_counter_block(cb_address)
             dirty_nodes.setdefault((level, index), {})[slot] = \
-                mac.digest_mac(MacKind.TREE_UPDATE, raw)
+                mac.digest_mac(MacKind.TREE_UPDATE, raw,
+                               domain=MacDomain.NODE)
 
         rebuilt = 0
         level = 1
@@ -213,7 +216,8 @@ class OsirisRecovery:
                 content = bytes(node)
                 controller.nvm.write(address, content, WriteKind.TREE_NODE)
                 rebuilt += 1
-                node_mac = mac.digest_mac(MacKind.TREE_UPDATE, content)
+                node_mac = mac.digest_mac(MacKind.TREE_UPDATE, content,
+                                          domain=MacDomain.NODE)
                 if node_level == layout.num_tree_levels:
                     controller.root_mac = node_mac
                 else:

@@ -6,9 +6,23 @@ wins, by what factor — is inspectable straight from the terminal.
 """
 
 from collections.abc import Mapping, Sequence
+from typing import Protocol
 
 FULL = "#"
 DEFAULT_WIDTH = 48
+
+
+class ResultLike(Protocol):
+    """The slice of an ExperimentResult the chart renderer consumes."""
+
+    @property
+    def experiment_id(self) -> str: ...
+
+    @property
+    def headers(self) -> Sequence[str]: ...
+
+    @property
+    def rows(self) -> Sequence[Sequence[object]]: ...
 
 
 def render_bars(labels: Sequence[str], values: Sequence[float],
@@ -87,14 +101,15 @@ def render_grouped(groups: Mapping[str, Mapping[str, float]],
     return "\n".join(blocks)
 
 
-def chart_experiment(result, value_column: int = -1,
+def chart_experiment(result: ResultLike, value_column: int = -1,
                      width: int = DEFAULT_WIDTH) -> str:
     """Bar-chart one column of an ExperimentResult's table.
 
     Rows whose chosen column is not numeric are skipped; the first column is
     the bar label.
     """
-    labels, values = [], []
+    labels: list[str] = []
+    values: list[float] = []
     for row in result.rows:
         value = row[value_column]
         if isinstance(value, bool) or not isinstance(value, (int, float)):

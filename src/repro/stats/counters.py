@@ -15,10 +15,10 @@ from repro.stats.events import AesKind, MacKind, ReadKind, WriteKind
 class SimStats:
     """Counts of memory requests and crypto operations, by kind."""
 
-    reads: Counter = field(default_factory=Counter)
-    writes: Counter = field(default_factory=Counter)
-    macs: Counter = field(default_factory=Counter)
-    aes: Counter = field(default_factory=Counter)
+    reads: Counter[ReadKind] = field(default_factory=Counter)
+    writes: Counter[WriteKind] = field(default_factory=Counter)
+    macs: Counter[MacKind] = field(default_factory=Counter)
+    aes: Counter[AesKind] = field(default_factory=Counter)
 
     # -- recording ------------------------------------------------------------
 
@@ -95,7 +95,7 @@ class SimStats:
         self.macs.clear()
         self.aes.clear()
 
-    def snapshot(self) -> dict:
+    def snapshot(self) -> dict[str, object]:
         """Plain-dict view (stable keys) for reports and JSON dumps."""
         return {
             "reads": {str(k): v for k, v in sorted(self.reads.items(), key=lambda kv: kv[0].value)},

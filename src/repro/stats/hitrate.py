@@ -7,6 +7,7 @@ metadata-cache miss storm).
 """
 
 from dataclasses import dataclass
+from typing import Any
 
 
 @dataclass(frozen=True)
@@ -26,7 +27,7 @@ class CacheHitRate:
         return self.hits / self.accesses if self.accesses else 0.0
 
 
-def collect_cache_stats(system) -> list[CacheHitRate]:
+def collect_cache_stats(system: Any) -> list[CacheHitRate]:
     """Hit rates for every cache of a :class:`SecureEpdSystem`.
 
     Data-cache lookups include the internal probes of the inclusive fill
@@ -44,7 +45,7 @@ def collect_cache_stats(system) -> list[CacheHitRate]:
     return rates
 
 
-def hit_rate_rows(system) -> list[list[object]]:
+def hit_rate_rows(system: Any) -> list[list[object]]:
     """Table rows (name, hits, misses, rate) for report formatting."""
     return [[rate.name, rate.hits, rate.misses, rate.hit_rate]
             for rate in collect_cache_stats(system)]

@@ -31,7 +31,7 @@ def format_breakdown(title: str, breakdown: Mapping[str, int],
     headers = ["component", "count"]
     if normalize_to:
         headers.append("normalized")
-    rows = []
+    rows: list[list[object]] = []
     for key, value in breakdown.items():
         row: list[object] = [key, value]
         if normalize_to:

@@ -10,7 +10,9 @@ its premise in Section IV-B).
 """
 
 from collections import Counter
+from collections.abc import Iterable
 from dataclasses import dataclass
+from typing import Any
 
 from repro.common.config import SystemConfig
 from repro.stats.counters import SimStats
@@ -38,7 +40,7 @@ class RuntimeBreakdown:
 class RuntimePerfModel:
     """Maps (cache access counts, controller op delta) to run-time cycles."""
 
-    def __init__(self, config: SystemConfig):
+    def __init__(self, config: SystemConfig) -> None:
         self._config = config
         self._timing = TimingModel(config)
         # A hit at level N traversed every level above it first.
@@ -47,7 +49,7 @@ class RuntimePerfModel:
         llc = l2 + config.llc.latency_cycles
         self._access_cost = {"l1": l1, "l2": l2, "llc": llc, "miss": llc}
 
-    def breakdown(self, access_counts: Counter,
+    def breakdown(self, access_counts: Counter[str],
                   stats_delta: SimStats) -> RuntimeBreakdown:
         cache_cycles = sum(self._access_cost[level] * count
                            for level, count in access_counts.items())
@@ -59,7 +61,7 @@ class RuntimePerfModel:
             accesses=sum(access_counts.values()),
         )
 
-    def replay(self, system, trace) -> RuntimeBreakdown:
+    def replay(self, system: Any, trace: Iterable[Any]) -> RuntimeBreakdown:
         """Replay a workload trace on a system and measure it.
 
         ``system`` is anything with ``read``/``write``/``stats`` and a

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 from repro.common.config import SystemConfig
 from repro.common.units import ns_to_cycles
+from repro.stats.counters import SimStats
 
 
 @dataclass(frozen=True)
@@ -42,7 +43,7 @@ class TimingBreakdown:
 class TimingModel:
     """Maps operation counts to time under the Table I latency parameters."""
 
-    def __init__(self, config: SystemConfig):
+    def __init__(self, config: SystemConfig) -> None:
         self._config = config
         self.read_cycles = ns_to_cycles(
             config.memory.read_latency_ns, config.frequency_hz)
@@ -55,7 +56,7 @@ class TimingModel:
     def config(self) -> SystemConfig:
         return self._config
 
-    def breakdown(self, stats) -> TimingBreakdown:
+    def breakdown(self, stats: SimStats) -> TimingBreakdown:
         """Attribute cycles to each operation class of ``stats``."""
         return TimingBreakdown(
             read_cycles=stats.total_reads * self.read_cycles,
@@ -64,13 +65,13 @@ class TimingModel:
             aes_cycles=stats.total_aes * self.aes_cycles,
         )
 
-    def cycles(self, stats) -> int:
+    def cycles(self, stats: SimStats) -> int:
         """Total serialized cycles implied by ``stats``."""
         return self.breakdown(stats).total_cycles
 
-    def seconds(self, stats) -> float:
+    def seconds(self, stats: SimStats) -> float:
         """Total serialized wall-clock time implied by ``stats``."""
         return self.cycles(stats) / self._config.frequency_hz
 
-    def milliseconds(self, stats) -> float:
+    def milliseconds(self, stats: SimStats) -> float:
         return self.seconds(stats) * 1e3

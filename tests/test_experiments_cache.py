@@ -89,7 +89,8 @@ class TestStoreAndLoad:
         assert cache.get("k" * 64) is None
         cache.put("k" * 64, {"value": 1})
         assert cache.get("k" * 64) == {"value": 1}
-        assert cache.counters() == {"hits": 1, "misses": 1, "stores": 1}
+        assert cache.counters() == {"hits": 1, "misses": 1, "stores": 1,
+                                    "corrupt": 0}
 
     def test_disabled_cache_never_stores_or_hits(self, tmp_path):
         disabled = ResultCache(root=tmp_path, enabled=False)
@@ -127,6 +128,50 @@ class TestStoreAndLoad:
         cache._path("key").write_bytes(pickle.dumps(
             {"format": -1, "key": "key", "payload": "old"}))
         assert cache.get("key") is None
+
+    def test_corrupt_entry_is_counted_and_logged(self, cache, caplog):
+        cache.put("key", "payload")
+        cache._path("key").write_bytes(b"\x80\x05garbage")
+        with caplog.at_level("WARNING", logger="repro.experiments.cache"):
+            assert cache.get("key") is None
+        assert cache.corrupt == 1
+        assert cache.misses == 1
+        assert cache.counters()["corrupt"] == 1
+        assert any("corrupt entry" in record.getMessage()
+                   for record in caplog.records)
+
+    def test_truncated_entry_is_a_miss_not_a_crash(self, cache):
+        cache.put("key", "payload")
+        path = cache._path("key")
+        path.write_bytes(path.read_bytes()[:10])
+        assert cache.get("key") is None
+        assert cache.corrupt == 1
+        assert not path.exists()
+
+    def test_clean_miss_is_not_counted_as_corrupt(self, cache):
+        assert cache.get("never-stored") is None
+        assert cache.corrupt == 0
+
+    def test_programming_errors_still_propagate(self, cache, monkeypatch):
+        # The broad `except Exception` this path used to have would have
+        # classified a simulator bug as a cache miss; only the documented
+        # (de)serialization/IO errors may become misses.
+        cache.put("key", "payload")
+
+        def explode(*args, **kwargs):
+            raise RuntimeError("bug in the simulator, not in the cache file")
+
+        monkeypatch.setattr(pickle, "load", explode)
+        with pytest.raises(RuntimeError):
+            cache.get("key")
+        assert cache.corrupt == 0
+
+    def test_absorb_counters_folds_corrupt(self, cache):
+        cache.absorb_counters({"hits": 2, "misses": 3, "stores": 1,
+                               "corrupt": 1})
+        assert cache.corrupt == 1
+        assert cache.counters() == {"hits": 2, "misses": 3, "stores": 1,
+                                    "corrupt": 1}
 
 
 class TestDrainSuiteIntegration:

@@ -26,6 +26,26 @@ from repro.stats.counters import SimStats
 from repro.stats.events import MacKind
 from tests.conftest import examples
 
+BATCH_COVERAGE = {
+    # Every public *_batch/*_blocks method in src/repro must appear here
+    # (reprolint rule R3), naming the scalar-equivalence evidence that holds
+    # it to its scalar twin.  The differential oracle (repro/core/oracle.py)
+    # additionally compares whole batched-vs-scalar episodes end to end.
+    "AesEngine.encrypt_batch": "TestEngineEquivalence.test_aes_engine_batch",
+    "AesEngine.decrypt_batch": "TestEngineEquivalence.test_aes_engine_batch",
+    "MacEngine.block_mac_batch":
+        "TestEngineEquivalence.test_mac_engine_batch (all MacDomains)",
+    "MacEngine.digest_mac_batch":
+        "TestEngineEquivalence.test_mac_engine_batch (all MacDomains)",
+    "NvmDevice.read_batch":
+        "oracle drain/recovery stats + tests/test_mem_nvm.py",
+    "NvmDevice.write_batch":
+        "oracle NVM image + fault-plan scalar fallback tests",
+    "SparseMemory.read_blocks": "oracle NVM image + tests/test_mem_backend.py",
+    "SparseMemory.write_blocks":
+        "oracle NVM image + tests/test_mem_backend.py",
+}
+
 keys = st.binary(min_size=1, max_size=64)
 addresses = st.integers(0, 2**64 - 1)
 counters = st.integers(0, 2**128 - 1)
