@@ -42,6 +42,14 @@ REPEATS = 5
 """Best-of-N for the millisecond-scale measurements (the seconds-long
 fig14 sweep uses best-of-2)."""
 
+REPLAY_OPS = 100_000
+"""Trace length of the replay-throughput workload (YCSB-A)."""
+
+REPLAY_ROUNDS = 3
+"""Interleaved scalar/batched rounds for the replay metric: each round
+times both sides back to back, so background load lands on both and the
+min/min ratio stays honest."""
+
 
 def _best_of(fn, repeats: int = REPEATS) -> float:
     best = float("inf")
@@ -103,6 +111,43 @@ def _recovery_wall(scheme: str, batched: bool,
     return min(once() for _ in range(REPEATS))
 
 
+def replay_trace(config: SystemConfig) -> list:
+    """The pinned replay workload: a 100k-op YCSB-A trace whose working
+    set is twice the LLC's capacity (every round misses substantially)."""
+    from repro.workloads.ycsb import ycsb_trace
+    return ycsb_trace("a", num_ops=REPLAY_OPS,
+                      footprint_blocks=config.llc.num_lines * 2, seed=87)
+
+
+def _replay_walls(scheme: str, config: SystemConfig) -> tuple[float, float]:
+    """(scalar, batched) best wall seconds over interleaved rounds."""
+    from repro.workloads.replay import replay
+
+    trace = replay_trace(config)
+    best = {False: float("inf"), True: float("inf")}
+    for _ in range(REPLAY_ROUNDS):
+        for batched in (False, True):
+            system = SecureEpdSystem(config, scheme=scheme, batched=batched)
+            start = time.perf_counter()
+            replay(system, trace, batched=batched)
+            best[batched] = min(best[batched],
+                                time.perf_counter() - start)
+    return best[False], best[True]
+
+
+def _fill_walls(scheme: str, config: SystemConfig) -> tuple[float, float]:
+    """(scalar, batched) best wall seconds of fill_worst_case."""
+    best = {False: float("inf"), True: float("inf")}
+    for _ in range(REPEATS):
+        for batched in (False, True):
+            system = SecureEpdSystem(config, scheme=scheme, batched=batched)
+            start = time.perf_counter()
+            system.fill_worst_case(seed=1)
+            best[batched] = min(best[batched],
+                                time.perf_counter() - start)
+    return best[False], best[True]
+
+
 def _fig14_wall() -> float:
     from repro.experiments.fig14_15_llc_sweep import run_fig14
     from repro.experiments.suite import DrainSuite
@@ -132,6 +177,25 @@ def run_benchmarks() -> dict:
         metrics[f"drain:{scheme}:speedup"] = {
             "kind": "ratio", "value": scalar_s / batched_s,
         }
+
+    scalar_replay, batched_replay = _replay_walls("horus-dlm", config)
+    metrics["replay:horus-dlm:batched"] = {
+        "kind": "time", "seconds": batched_replay,
+        "normalized": batched_replay / calibration,
+        "ops_per_second": REPLAY_OPS / batched_replay,
+    }
+    metrics["replay:horus-dlm:speedup"] = {
+        "kind": "ratio", "value": scalar_replay / batched_replay,
+    }
+
+    scalar_fill, batched_fill = _fill_walls("horus-dlm", config)
+    metrics["fill:horus-dlm:batched"] = {
+        "kind": "time", "seconds": batched_fill,
+        "normalized": batched_fill / calibration,
+    }
+    metrics["fill:horus-dlm:speedup"] = {
+        "kind": "ratio", "value": scalar_fill / batched_fill,
+    }
 
     recovery_s = _recovery_wall("horus-dlm", True, config)
     metrics["recovery:horus-dlm:batched"] = {

@@ -22,6 +22,7 @@ from repro.cache.line import CacheLine
 from repro.common.config import SystemConfig
 from repro.common.errors import ConfigError
 from repro.common.rng import make_rng
+from repro.crypto.batch import batching_enabled
 
 FetchFn = Callable[[int], bytes]
 WritebackFn = Callable[[int, bytes], None]
@@ -30,6 +31,40 @@ WritebackFn = Callable[[int, bytes], None]
 def _pattern_data(address: int) -> bytes:
     """Deterministic, address-unique 64 B payload for fills and tests."""
     return (address & ((1 << 64) - 1)).to_bytes(8, "little") * 8
+
+
+class PendingFill:
+    """Marker payload for a line whose fetch is deferred to epoch end.
+
+    The fused epoch pass (:meth:`CacheHierarchy.replay_epoch`) installs one
+    of these wherever the scalar pass would install freshly fetched data;
+    :meth:`CacheHierarchy.resolve_pending` swaps in the real payloads once
+    the memory side has executed the epoch's batched fetch stream.  Object
+    identity (not value) ties a marker to its fetch — the hierarchy never
+    branches on payload contents, so deferring them changes nothing else.
+    """
+
+    __slots__ = ("address",)
+
+    def __init__(self, address: int):
+        self.address = address
+
+    def __repr__(self) -> str:
+        return f"PendingFill({self.address:#x})"
+
+
+def _raw_line(address: int, data, dirty: bool) -> CacheLine:
+    """A :class:`CacheLine` without ``__init__`` validation.
+
+    The fused pass installs :class:`PendingFill` markers as payloads, which
+    the dataclass length check would reject — and skipping per-line dataclass
+    construction is part of the fast path's point.
+    """
+    line = CacheLine.__new__(CacheLine)
+    line.address = address
+    line.data = data
+    line.dirty = dirty
+    return line
 
 
 class CacheHierarchy:
@@ -75,7 +110,8 @@ class CacheHierarchy:
     # Drain-mode support
     # ------------------------------------------------------------------
 
-    def fill_worst_case(self, seed: int | None = None) -> int:
+    def fill_worst_case(self, seed: int | None = None,
+                        batched: bool | None = None) -> int:
         """Populate every line of every level dirty, worst-case sparse.
 
         Inclusive: the LLC receives a full honest fill (every set, every way)
@@ -85,10 +121,18 @@ class CacheHierarchy:
         own full fill of *distinct* addresses (one shared page allocator
         keeps counter pages unique hierarchy-wide).  Returns the number of
         lines installed.
+
+        ``batched`` (default: :func:`~repro.crypto.batch.batching_enabled`)
+        selects a fast path that performs the same inserts through direct
+        set operations — same allocator, same shuffle, same final lines,
+        LRU orders and statistics, minus the per-line method and dataclass
+        overhead that dominates paper-scale episode setup.
         """
         self.invalidate_all()
         allocator = make_allocator(self._config)
         rng = make_rng(seed)
+        if batching_enabled(batched):
+            return self._fill_worst_case_batched(allocator, rng)
 
         if not self.inclusive:
             for level in self.levels:
@@ -121,6 +165,66 @@ class CacheHierarchy:
                     continue
                 data = _pattern_data(address) if self._functional else None
                 upper.insert(CacheLine(address, data, dirty=True))
+                remaining -= 1
+
+        return len(self)
+
+    def _fill_worst_case_batched(self, allocator, rng) -> int:
+        """The :meth:`fill_worst_case` fast path: identical address streams
+        (same allocator draws, same shuffles) installed with direct set-dict
+        operations instead of per-line :meth:`SetAssociativeCache.insert`
+        calls.  Insert semantics are transcribed exactly — duplicates
+        replace in place and refresh LRU; a full set raises after evicting,
+        as the scalar insert would."""
+        functional = self._functional
+        pattern = _pattern_data
+
+        def bulk_insert(level: SetAssociativeCache,
+                        addresses: list[int], message: str) -> None:
+            sets = level._sets
+            line_size = level.config.line_size
+            num_sets = level.config.num_sets
+            ways = level.config.ways
+            for address in addresses:
+                cache_set = sets[(address // line_size) % num_sets]
+                line = _raw_line(
+                    address, pattern(address) if functional else None, True)
+                if address in cache_set:
+                    cache_set[address] = line
+                    cache_set.move_to_end(address)
+                    continue
+                if len(cache_set) >= ways:
+                    cache_set.popitem(last=False)
+                    cache_set[address] = line
+                    raise ConfigError(message)
+                cache_set[address] = line
+
+        if not self.inclusive:
+            for level in self.levels:
+                addresses = list(worst_case_addresses(level.config, allocator))
+                rng.shuffle(addresses)
+                bulk_insert(level, addresses, "worst-case fill must not evict")
+            return len(self)
+
+        llc_addresses = list(worst_case_addresses(self._config.llc, allocator))
+        rng.shuffle(llc_addresses)
+        bulk_insert(self.llc, llc_addresses,
+                    "worst-case fill must not evict from LLC")
+
+        for upper in (self.l2, self.l1):
+            sets = upper._sets
+            line_size = upper.config.line_size
+            num_sets = upper.config.num_sets
+            ways = upper.config.ways
+            remaining = upper.config.num_lines
+            for address in llc_addresses:
+                if remaining == 0:
+                    break
+                cache_set = sets[(address // line_size) % num_sets]
+                if len(cache_set) >= ways or address in cache_set:
+                    continue
+                cache_set[address] = _raw_line(
+                    address, pattern(address) if functional else None, True)
                 remaining -= 1
 
         return len(self)
@@ -252,6 +356,208 @@ class CacheHierarchy:
         line.dirty = True
         # In the EPD model the whole hierarchy is persistent: visibility is
         # persistence, so no flush is needed — this is the paper's premise.
+
+    # ------------------------------------------------------------------
+    # Batched run-time mode (fused epoch replay)
+    # ------------------------------------------------------------------
+
+    def replay_epoch(self, ops: "list[tuple[str, int, bytes | None]]") \
+            -> "tuple[list[tuple[str, int, bytes | None]], list[PendingFill]]":
+        """Run one epoch of trace ops through the caches in a fused pass.
+
+        ``ops`` holds ``("w", address, data)`` / ``("r", address, None)``
+        tuples (block-aligned addresses).  The pass transcribes
+        :meth:`read` / :meth:`write` / :meth:`_install` / :meth:`_install_llc`
+        against the set dicts directly — every lookup, LRU touch, hit/miss
+        increment and ``access_counts`` bump lands exactly where the scalar
+        methods put it — but *defers* the memory side: misses install
+        :class:`PendingFill` markers and the would-be fetch/writeback calls
+        are collected, in issue order, into the returned ``mem_ops`` list
+        (same tuple shape as ``ops``).  The caller executes ``mem_ops``
+        against the memory side (e.g.
+        :meth:`~repro.secure.controller.SecureMemoryController.run_ops_batch`)
+        and hands each fetch result back via :meth:`resolve_pending`.
+
+        The deferral is sound because cache control flow never inspects
+        payload bytes, and dirty lines always hold real payloads (a line
+        only becomes dirty through a trace write, which overwrites its
+        marker), so emitted writebacks are marker-free.
+        """
+        if not self.inclusive:
+            raise ConfigError(
+                "fused epoch replay requires an inclusive hierarchy")
+        l1, l2, llc = self.l1, self.l2, self.llc
+        l1_sets, l2_sets, llc_sets = l1._sets, l2._sets, llc._sets
+        l1_ls, l2_ls, llc_ls = (l1.config.line_size, l2.config.line_size,
+                                llc.config.line_size)
+        l1_ns, l2_ns, llc_ns = (l1.config.num_sets, l2.config.num_sets,
+                                llc.config.num_sets)
+        l1_ways, l2_ways, llc_ways = (l1.config.ways, l2.config.ways,
+                                      llc.config.ways)
+        mem_ops: list[tuple[str, int, bytes | None]] = []
+        fills: list[PendingFill] = []
+        emit = mem_ops.append
+        add_fill = fills.append
+        # Inline _raw_line: one line object per install, so even the call
+        # frame matters at trace scale.
+        new_line = CacheLine.__new__
+        l1_hits = l1_misses = l2_hits = l2_misses = 0
+        llc_hits = llc_misses = 0
+        c_l1 = c_l2 = c_llc = c_miss = 0
+
+        try:
+            for kind, address, payload in ops:
+                set1 = l1_sets[(address // l1_ls) % l1_ns]
+                line = set1.get(address)
+                if line is not None:
+                    # read(): L1 hit.
+                    l1_hits += 1
+                    set1.move_to_end(address)
+                    c_l1 += 1
+                else:
+                    l1_misses += 1
+                    set2 = l2_sets[(address // l2_ls) % l2_ns]
+                    l2_line = set2.get(address)
+                    if l2_line is None:
+                        l2_misses += 1
+                        set3 = llc_sets[(address // llc_ls) % llc_ns]
+                        llc_line = set3.get(address)
+                        if llc_line is None:
+                            # read(): full miss — deferred fetch, then
+                            # _install_llc + the touch=False re-lookup.
+                            llc_misses += 1
+                            c_miss += 1
+                            marker = PendingFill(address)
+                            add_fill(marker)
+                            emit(("r", address, None))
+                            llc_line = new_line(CacheLine)
+                            llc_line.address = address
+                            llc_line.data = marker
+                            llc_line.dirty = False
+                            if len(set3) >= llc_ways:
+                                _, victim = set3.popitem(last=False)
+                                set3[address] = llc_line
+                                vaddr = victim.address
+                                vdata, vdirty = victim.data, victim.dirty
+                                copy = l1_sets[(vaddr // l1_ls) % l1_ns] \
+                                    .pop(vaddr, None)
+                                if copy is not None and copy.dirty:
+                                    vdata, vdirty = copy.data, True
+                                copy = l2_sets[(vaddr // l2_ls) % l2_ns] \
+                                    .pop(vaddr, None)
+                                if copy is not None and copy.dirty:
+                                    vdata, vdirty = copy.data, True
+                                if vdirty:
+                                    emit(("w", vaddr, vdata))
+                            else:
+                                set3[address] = llc_line
+                            llc_hits += 1
+                        else:
+                            # read(): LLC hit.
+                            llc_hits += 1
+                            set3.move_to_end(address)
+                            c_llc += 1
+                        # _install(l2, ...) + the touch=False re-lookup.
+                        l2_line = new_line(CacheLine)
+                        l2_line.address = address
+                        l2_line.data = llc_line.data
+                        l2_line.dirty = False
+                        if len(set2) >= l2_ways:
+                            _, victim = set2.popitem(last=False)
+                            set2[address] = l2_line
+                            vaddr = victim.address
+                            copy = l1_sets[(vaddr // l1_ls) % l1_ns] \
+                                .pop(vaddr, None)
+                            if copy is not None and copy.dirty:
+                                victim.data = copy.data
+                                victim.dirty = True
+                            if victim.dirty:
+                                below = llc_sets[(vaddr // llc_ls) % llc_ns] \
+                                    .get(vaddr)
+                                if below is None:
+                                    llc_misses += 1
+                                    raise ConfigError(
+                                        f"inclusion violated: {vaddr:#x} in "
+                                        f"{l2.name} but not in {llc.name}")
+                                llc_hits += 1
+                                below.data = victim.data
+                                below.dirty = True
+                        else:
+                            set2[address] = l2_line
+                    else:
+                        # read(): L2 hit.
+                        l2_hits += 1
+                        set2.move_to_end(address)
+                        c_l2 += 1
+                    # read()'s unconditional touch=False L2 re-lookup.
+                    l2_hits += 1
+                    # _install(l1, ...) + the touch=False re-lookup.
+                    line = new_line(CacheLine)
+                    line.address = address
+                    line.data = l2_line.data
+                    line.dirty = False
+                    if len(set1) >= l1_ways:
+                        _, victim = set1.popitem(last=False)
+                        set1[address] = line
+                        if victim.dirty:
+                            vaddr = victim.address
+                            below = l2_sets[(vaddr // l2_ls) % l2_ns] \
+                                .get(vaddr)
+                            if below is None:
+                                l2_misses += 1
+                                raise ConfigError(
+                                    f"inclusion violated: {vaddr:#x} in "
+                                    f"{l1.name} but not in {l2.name}")
+                            l2_hits += 1
+                            below.data = victim.data
+                            below.dirty = True
+                    else:
+                        set1[address] = line
+                    l1_hits += 1
+                if kind == "w":
+                    # write(): the touch=False L1 re-lookup, then mutate.
+                    l1_hits += 1
+                    line.data = payload
+                    line.dirty = True
+        finally:
+            l1.hits += l1_hits
+            l1.misses += l1_misses
+            l2.hits += l2_hits
+            l2.misses += l2_misses
+            llc.hits += llc_hits
+            llc.misses += llc_misses
+            counts = self.access_counts
+            if c_l1:
+                counts["l1"] += c_l1
+            if c_l2:
+                counts["l2"] += c_l2
+            if c_llc:
+                counts["llc"] += c_llc
+            if c_miss:
+                counts["miss"] += c_miss
+        return mem_ops, fills
+
+    def resolve_pending(self, fills: "list[PendingFill]",
+                        fetched: "list[bytes | None]") -> None:
+        """Swap every resident epoch marker for its fetched payload.
+
+        ``fetched`` aligns with ``fills`` (the order markers were emitted by
+        :meth:`replay_epoch`).  Markers evicted clean during the epoch are
+        simply gone; every surviving one is replaced, so no marker outlives
+        its epoch.
+        """
+        if len(fills) != len(fetched):
+            raise ConfigError("fills and fetched results must align")
+        if not fills:
+            return
+        resolved = {id(marker): data
+                    for marker, data in zip(fills, fetched)}
+        for level in self.levels:
+            for cache_set in level._sets:
+                for line in cache_set.values():
+                    data = line.data
+                    if type(data) is PendingFill:
+                        line.data = resolved[id(data)]
 
     # ------------------------------------------------------------------
     # Internals

@@ -5,7 +5,7 @@ from dataclasses import dataclass
 from repro.common.constants import CACHE_LINE_SIZE
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheLine:
     """One 64 B line: tag address, payload, and dirty state.
 

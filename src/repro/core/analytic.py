@@ -109,6 +109,63 @@ def validate_horus_report(report: DrainReport) -> None:
             + "; ".join(mismatches))
 
 
+def validate_replay_counts(scheme: str, num_ops: int,
+                           access_counts: dict, stats: dict) -> None:
+    """Assert the hard invariants every replayed trace must satisfy.
+
+    Operates on the JSON-safe forms (``SimStats.snapshot()`` and a plain
+    ``access_counts`` dict) so the golden replay fixtures can be validated
+    as committed, without re-running the simulator.  The invariants hold
+    for scalar and epoch-batched replay alike — the closed forms don't care
+    how the op stream was issued, only what it did:
+
+    * every trace op resolves at exactly one level (or misses);
+    * non-secure fetches are exactly the misses, and each miss can evict at
+      most one dirty LLC line;
+    * on secure schemes every data write is one encryption, one data MAC,
+      and one NVM write (counter-overflow re-encryptions included), only
+      fetched blocks are decrypted, and every decrypted block was verified
+      first (never-written blocks are fetched as zeros — no MAC to check,
+      nothing to decrypt).
+    """
+    mismatches = []
+    resolved = sum(access_counts.values())
+    if resolved != num_ops:
+        mismatches.append(
+            f"access counts {resolved} do not resolve the {num_ops} ops")
+    misses = access_counts.get("miss", 0)
+    reads = stats.get("reads", {})
+    writes = stats.get("writes", {})
+    macs = stats.get("macs", {})
+    aes = stats.get("aes", {})
+    if scheme == "nosec":
+        if reads.get("data", 0) != misses:
+            mismatches.append(
+                f"data reads {reads.get('data', 0)} != misses {misses}")
+        if writes.get("data", 0) > misses:
+            mismatches.append(
+                "more data writebacks than misses (each miss evicts at "
+                "most one dirty LLC line)")
+        if macs or aes:
+            mismatches.append("non-secure replay performed crypto")
+    else:
+        data_writes = writes.get("data", 0)
+        if not (data_writes == macs.get("data_protect", 0)
+                == aes.get("encrypt", 0)):
+            mismatches.append(
+                f"write/MAC/encrypt counts diverge: {data_writes} data "
+                f"writes, {macs.get('data_protect', 0)} data MACs, "
+                f"{aes.get('encrypt', 0)} encryptions")
+        if aes.get("decrypt", 0) > reads.get("data", 0):
+            mismatches.append("more decryptions than fetched data blocks")
+        if macs.get("verify", 0) < aes.get("decrypt", 0):
+            mismatches.append("decrypted blocks outnumber verifications")
+    if mismatches:
+        raise AssertionError(
+            f"{scheme} replay violated closed-form invariants: "
+            + "; ".join(mismatches))
+
+
 def validate_baseline_report(report: DrainReport) -> None:
     """Assert the hard invariants every baseline episode must satisfy."""
     flushed = report.flushed_blocks

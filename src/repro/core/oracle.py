@@ -19,6 +19,13 @@ Enable it with the ``REPRO_ORACLE`` environment variable (or the runner's
 ``REPRO_ORACLE=0`` / unset
     off (the default).
 
+Drain episodes are checked by :func:`run_differential` (via
+:func:`repro.experiments.suite.run_episode`); trace replays by
+:func:`run_replay_differential` (via
+:func:`repro.experiments.suite.run_replay_episode`), which holds the entire
+runtime state — NVM image, stats, cache and metadata-cache contents, tree
+root — equal after the last epoch.
+
 Cached episodes are served without re-running and therefore without an
 oracle pass — combine ``--oracle`` with ``--refresh`` to re-verify a warm
 result store.  Any mismatch raises
@@ -34,6 +41,8 @@ from repro.common.errors import OracleDivergenceError
 from repro.core.system import SecureEpdSystem
 from repro.crypto.batch import batching_enabled
 from repro.epd.drain import DrainReport
+from repro.workloads.replay import DEFAULT_EPOCH_OPS, replay
+from repro.workloads.trace import MemoryOp
 
 _EPISODES_SEEN = 0
 
@@ -160,6 +169,108 @@ def run_differential(config: SystemConfig, scheme: str, *,
     if exc is not None:
         raise exc
     return OracleOutcome(drain=report, recovery=recovery, checks=len(fields))
+
+
+@dataclass(frozen=True)
+class ReplayOutcome:
+    """What one differential replay produced (the env-default run's view)."""
+
+    system: SecureEpdSystem
+    expected: dict[int, bytes] | None
+    checks: int
+    """Number of observable fields compared."""
+
+
+def _meta_bytes(value: object) -> bytes:
+    """Canonical byte serialization of a metadata-cache line value."""
+    if isinstance(value, (bytes, bytearray)):
+        return bytes(value)
+    return value.to_bytes()  # type: ignore[attr-defined]
+
+
+def _observe_replay(config: SystemConfig, scheme: str, batched: bool,
+                    trace: "list[MemoryOp]", epoch_ops: int,
+                    system_kwargs: dict):
+    """Replay ``trace`` on a fresh system; return its full observable state."""
+    system = SecureEpdSystem(config, scheme=scheme, batched=batched,
+                             **system_kwargs)
+    obs: dict[str, object] = {}
+    replay_exc: BaseException | None = None
+    expected: dict[int, bytes] | None = None
+    try:
+        expected = replay(system, trace, epoch_ops=epoch_ops,
+                          batched=batched)
+    # Same contract as _observe: a failing replay is itself an observable
+    # that both paths must produce identically.
+    except Exception as exc:  # reprolint: disable=R4
+        replay_exc = exc
+    obs["replay exception"] = (type(replay_exc).__name__, str(replay_exc)) \
+        if replay_exc is not None else None
+    if expected is not None:
+        obs["expected contents"] = expected
+
+    obs["NVM image"] = system.nvm.backend.image()
+    obs["lost writes"] = list(system.nvm.lost_writes)
+    obs["total stats"] = system.stats.snapshot()
+
+    hierarchy = system.hierarchy
+    obs["access counts"] = dict(hierarchy.access_counts)
+    obs["level hit rates"] = [(level.name, level.hits, level.misses)
+                              for level in hierarchy.levels]
+    obs["hierarchy lines"] = [
+        sorted(((line.address, line.data, line.dirty)
+                for line in level.lines()), key=lambda entry: entry[0])
+        for level in hierarchy.levels]
+
+    controller = system.controller
+    if controller is not None:
+        obs["root MAC"] = controller.root_mac
+        obs["metadata caches"] = [
+            (cache.name, cache.hits, cache.misses,
+             sorted((line.address, _meta_bytes(line.value), line.dirty)
+                    for line in cache.lines()))
+            for cache in controller.metadata_caches]
+    return system, expected, replay_exc, obs
+
+
+def run_replay_differential(config: SystemConfig, scheme: str,
+                            trace: "list[MemoryOp]", *,
+                            epoch_ops: int = DEFAULT_EPOCH_OPS,
+                            **system_kwargs) -> ReplayOutcome:
+    """Replay the same trace scalar and epoch-batched; raise on divergence.
+
+    The runtime twin of :func:`run_differential`: both runs start from a
+    fresh system, so every observable — expected final contents, NVM image,
+    lost writes, the full stats snapshot, cache hit/miss counters and
+    resident lines at every level, metadata-cache contents, and the tree
+    root MAC — must match byte for byte.  Returns the view of whichever run
+    matches the session's default batching setting.
+    """
+    runs = {}
+    for batched in (True, False):
+        runs[batched] = _observe_replay(config, scheme, batched, trace,
+                                        epoch_ops, system_kwargs)
+    system_b, expected_b, exc_b, obs_b = runs[True]
+    system_s, expected_s, exc_s, obs_s = runs[False]
+
+    fields = sorted(set(obs_b) | set(obs_s))
+    for name in fields:
+        value_b, value_s = obs_b.get(name), obs_s.get(name)
+        if value_b != value_s:
+            raise OracleDivergenceError(
+                f"scalar and batched replay diverged on {name!r} for "
+                f"scheme={scheme!r} over {len(trace)} ops "
+                f"(epoch_ops={epoch_ops}): batched={_shorten(value_b)} "
+                f"scalar={_shorten(value_s)}")
+
+    if batching_enabled(None):
+        system, expected, exc = system_b, expected_b, exc_b
+    else:
+        system, expected, exc = system_s, expected_s, exc_s
+    if exc is not None:
+        raise exc
+    return ReplayOutcome(system=system, expected=expected,
+                         checks=len(fields))
 
 
 def _shorten(value: object, limit: int = 200) -> str:

@@ -151,7 +151,7 @@ class SecureEpdSystem:
 
     def fill_worst_case(self, seed: int | None = None) -> int:
         """Fill every line of every level dirty (the hold-up worst case)."""
-        return self.hierarchy.fill_worst_case(seed)
+        return self.hierarchy.fill_worst_case(seed, batched=self.batched)
 
     def crash(self, seed: int | None = None) -> DrainReport:
         """Power-outage detection: drain per the configured scheme, then

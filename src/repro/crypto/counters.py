@@ -25,6 +25,12 @@ from repro.common.errors import CounterOverflowError
 _MINOR_LIMIT = 1 << MINOR_COUNTER_BITS
 _MAJOR_LIMIT = 1 << MAJOR_COUNTER_BITS
 
+# The chunked wire codec assumes the paper's exact split-counter geometry
+# (64 x 7-bit minors -> eight 7-byte groups); any other geometry falls back
+# to the generic shift loop.
+_CHUNKED_WIRE = MINOR_COUNTER_BITS == 7 and MINOR_COUNTERS_PER_BLOCK == 64 \
+    and CACHE_LINE_SIZE == 64
+
 
 @dataclass
 class SplitCounterBlock:
@@ -75,6 +81,18 @@ class SplitCounterBlock:
     # block covers 4 KiB with zero padding).
 
     def to_bytes(self) -> bytes:
+        if _CHUNKED_WIRE:
+            # 8 minors = 56 bits = 7 bytes: packing per chunk keeps the
+            # intermediate ints machine-sized instead of accumulating one
+            # 448-bit integer (this serializes every counter writeback).
+            out = bytearray(self.major.to_bytes(8, "little"))
+            m = self.minors
+            for i in range(0, MINOR_COUNTERS_PER_BLOCK, 8):
+                chunk = (m[i] | m[i + 1] << 7 | m[i + 2] << 14
+                         | m[i + 3] << 21 | m[i + 4] << 28 | m[i + 5] << 35
+                         | m[i + 6] << 42 | m[i + 7] << 49)
+                out += chunk.to_bytes(7, "little")
+            return bytes(out)
         packed = 0
         for i, minor in enumerate(self.minors):
             packed |= minor << (i * MINOR_COUNTER_BITS)
@@ -86,11 +104,29 @@ class SplitCounterBlock:
         if len(data) != CACHE_LINE_SIZE:
             raise ValueError(f"counter block must be {CACHE_LINE_SIZE} B")
         major = int.from_bytes(data[:8], "little")
-        packed = int.from_bytes(data[8:], "little")
+        if major >= _MAJOR_LIMIT:
+            raise CounterOverflowError(
+                f"major counter {major} out of range")
         mask = _MINOR_LIMIT - 1
-        minors = [(packed >> (i * MINOR_COUNTER_BITS)) & mask
-                  for i in range(MINOR_COUNTERS_PER_BLOCK)]
-        return cls(major, minors)
+        # Masked parsing cannot produce an out-of-range minor, so skip the
+        # dataclass validation pass — this runs once per counter-block fetch.
+        block = cls.__new__(cls)
+        block.major = major
+        if _CHUNKED_WIRE:
+            minors: list[int] = []
+            extend = minors.extend
+            for base in range(8, CACHE_LINE_SIZE, 7):
+                chunk = int.from_bytes(data[base:base + 7], "little")
+                extend((chunk & 127, (chunk >> 7) & 127, (chunk >> 14) & 127,
+                        (chunk >> 21) & 127, (chunk >> 28) & 127,
+                        (chunk >> 35) & 127, (chunk >> 42) & 127,
+                        chunk >> 49))
+            block.minors = minors
+        else:
+            packed = int.from_bytes(data[8:], "little")
+            block.minors = [(packed >> (i * MINOR_COUNTER_BITS)) & mask
+                            for i in range(MINOR_COUNTERS_PER_BLOCK)]
+        return block
 
     def copy(self) -> "SplitCounterBlock":
         return SplitCounterBlock(self.major, list(self.minors))

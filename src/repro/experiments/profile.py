@@ -9,6 +9,8 @@ and a worker-timeline chart (via the ``stats`` machinery), and the JSON /
 Markdown export embeds the same data for provenance.
 """
 
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from repro.stats.chart import render_spans
@@ -17,10 +19,11 @@ from repro.stats.report import format_table
 
 @dataclass(frozen=True)
 class TimingRecord:
-    """One scheduled unit of work: a drain episode or an experiment."""
+    """One scheduled unit of work: a drain episode, an experiment, or a
+    sub-phase (fill/replay/drain) of one."""
 
     name: str
-    kind: str  # "episode" | "experiment"
+    kind: str  # "episode" | "experiment" | "phase"
     seconds: float
     worker: str  # "main" or the worker process id
     source: str  # "computed" | "cache"
@@ -116,3 +119,50 @@ class RunProfile:
                 for r in self.records
             ],
         }
+
+
+# -- phase spans --------------------------------------------------------------
+#
+# The timeline above shows whole units; the phase hooks below subdivide a
+# unit into its interesting stages — hierarchy fill, trace replay, drain —
+# as extra ``kind="phase"`` records on the same profile, so --profile shows
+# where inside an episode the time went.  Capture is in-process only:
+# phases timed inside pool workers are not propagated.
+
+_PHASES: RunProfile | None = None
+_PHASE_START = 0.0
+_PHASE_WORKER = "main"
+
+
+@contextmanager
+def capture_phases(profile: RunProfile, run_start: float,
+                   worker: str = "main"):
+    """Route :func:`phase` spans into ``profile`` for the duration."""
+    global _PHASES, _PHASE_START, _PHASE_WORKER
+    previous = (_PHASES, _PHASE_START, _PHASE_WORKER)
+    _PHASES, _PHASE_START, _PHASE_WORKER = profile, run_start, worker
+    try:
+        yield profile
+    finally:
+        _PHASES, _PHASE_START, _PHASE_WORKER = previous
+
+
+@contextmanager
+def phase(name: str):
+    """Time one sub-phase (e.g. ``fill:horus-dlm``, ``replay:base-eu``).
+
+    A no-op unless a :func:`capture_phases` context is active, so the
+    episode entry points can annotate unconditionally.
+    """
+    if _PHASES is None:
+        yield
+        return
+    begin = time.perf_counter()
+    try:
+        yield
+    finally:
+        _PHASES.add(TimingRecord(
+            name=name, kind="phase",
+            seconds=time.perf_counter() - begin,
+            worker=_PHASE_WORKER, source="computed",
+            started=begin - _PHASE_START))

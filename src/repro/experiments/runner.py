@@ -51,7 +51,11 @@ from repro.experiments.fig14_15_llc_sweep import (
 )
 from repro.experiments.fig16_recovery_time import run as run_fig16
 from repro.experiments.cache import ResultCache, experiment_key
-from repro.experiments.profile import RunProfile, TimingRecord
+from repro.experiments.profile import (
+    RunProfile,
+    TimingRecord,
+    capture_phases,
+)
 from repro.experiments.result import ExperimentResult
 from repro.experiments.suite import DRAIN_SEED, FILL_SEED, DrainSuite
 from repro.experiments.table2_energy import run as run_table2
@@ -210,7 +214,10 @@ def _run_serial(names, scale, functional, cache, profile, run_start):
         if cached is not None:
             result, source = cached, "cache"
         else:
-            result, source = EXPERIMENTS[name](suite), "computed"
+            # Fill/replay/drain sub-phases land on the same profile as
+            # extra kind="phase" timeline rows.
+            with capture_phases(profile, run_start):
+                result, source = EXPERIMENTS[name](suite), "computed"
             if cache is not None:
                 cache.put(_experiment_cache_key(name, suite), result)
         results.append(result)

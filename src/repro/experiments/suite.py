@@ -108,14 +108,45 @@ def run_episode(config: SystemConfig, scheme: str, fill: str = "sparse",
         raise ValueError(f"unknown fill mode {fill!r}")
 
     from repro.core.oracle import run_differential, should_check
+    from repro.experiments.profile import phase
     if should_check():
         return run_differential(config, scheme, fill=fill,
                                 fill_seed=fill_seed,
                                 drain_seed=drain_seed).drain
 
     system = SecureEpdSystem(config, scheme=scheme)
-    if fill == "sparse":
-        system.fill_worst_case(seed=fill_seed)
-    else:
-        system.hierarchy.fill_sequential()
-    return system.crash(seed=drain_seed)
+    with phase(f"fill:{scheme}"):
+        if fill == "sparse":
+            system.fill_worst_case(seed=fill_seed)
+        else:
+            system.hierarchy.fill_sequential()
+    with phase(f"drain:{scheme}"):
+        return system.crash(seed=drain_seed)
+
+
+def run_replay_episode(config: SystemConfig, scheme: str, trace, *,
+                       epoch_ops: int | None = None, **system_kwargs):
+    """Build a system and replay ``trace`` through it.
+
+    Returns ``(system, expected)`` — the system in its post-replay state
+    (ready for a subsequent ``crash()``/``recover()``) and the expected
+    final content per written address.  With ``REPRO_ORACLE`` set, sampled
+    replays run *twice* — scalar and epoch-batched — and any observable
+    difference raises before returning (see
+    :func:`repro.core.oracle.run_replay_differential`).
+    """
+    from repro.core.oracle import run_replay_differential, should_check
+    from repro.experiments.profile import phase
+    from repro.workloads.replay import DEFAULT_EPOCH_OPS, replay
+    if epoch_ops is None:
+        epoch_ops = DEFAULT_EPOCH_OPS
+    with phase(f"replay:{scheme}"):
+        if should_check():
+            outcome = run_replay_differential(config, scheme, trace,
+                                              epoch_ops=epoch_ops,
+                                              **system_kwargs)
+            return outcome.system, outcome.expected
+
+        system = SecureEpdSystem(config, scheme=scheme, **system_kwargs)
+        expected = replay(system, trace, epoch_ops=epoch_ops)
+        return system, expected

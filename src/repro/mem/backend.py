@@ -42,7 +42,11 @@ class SparseMemory:
 
     def read_block(self, address: int) -> bytes:
         """Return the 64 B block at ``address`` (zeros if never written)."""
-        return self._blocks.get(self._check(address), ZERO_BLOCK)
+        # Inline fast path of _check: this runs once per simulated block I/O.
+        if address % CACHE_LINE_SIZE \
+                or not 0 <= address <= self._size - CACHE_LINE_SIZE:
+            self._check(address)
+        return self._blocks.get(address // CACHE_LINE_SIZE, ZERO_BLOCK)
 
     def write_block(self, address: int, data: bytes) -> None:
         """Store a full 64 B block at ``address``."""
@@ -50,7 +54,10 @@ class SparseMemory:
             raise AddressError(
                 f"block writes must be exactly {CACHE_LINE_SIZE} B, "
                 f"got {len(data)}")
-        self._blocks[self._check(address)] = bytes(data)
+        if address % CACHE_LINE_SIZE \
+                or not 0 <= address <= self._size - CACHE_LINE_SIZE:
+            self._check(address)
+        self._blocks[address // CACHE_LINE_SIZE] = bytes(data)
 
     def write_blocks(self, items) -> None:
         """Store a batch of ``(address, data)`` 64 B blocks.
@@ -82,12 +89,20 @@ class SparseMemory:
     def read_blocks(self, addresses) -> list[bytes]:
         """Read a batch of 64 B blocks (:meth:`read_block` per element)."""
         blocks = self._blocks
-        return [blocks.get(self._check(address), ZERO_BLOCK)
-                for address in addresses]
+        limit = self._size - CACHE_LINE_SIZE
+        out = []
+        for address in addresses:
+            if address % CACHE_LINE_SIZE or not 0 <= address <= limit:
+                self._check(address)
+            out.append(blocks.get(address // CACHE_LINE_SIZE, ZERO_BLOCK))
+        return out
 
     def is_written(self, address: int) -> bool:
         """True when ``address`` has been explicitly written at least once."""
-        return self._check(address) in self._blocks
+        if address % CACHE_LINE_SIZE \
+                or not 0 <= address <= self._size - CACHE_LINE_SIZE:
+            self._check(address)
+        return address // CACHE_LINE_SIZE in self._blocks
 
     def corrupt_block(self, address: int, data: bytes) -> None:
         """Adversary hook: overwrite a block without any simulator accounting."""

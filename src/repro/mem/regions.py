@@ -112,6 +112,16 @@ class MemoryLayout:
             self._tree_level_bases.append(base)
             base += count * CACHE_LINE_SIZE
 
+        # Flat bounds for the hot mapping paths: the data <-> metadata
+        # mappings run once per memory-side op at run time and once per
+        # flushed line during drains, so they avoid the Region property
+        # chases and re-derive the same arithmetic against plain ints.
+        self._data_size = data_size
+        self._counters_base = self.counters.base
+        self._counters_end = self.counters.end
+        self._macs_base = self.macs.base
+        self._macs_end = self.macs.end
+
     @property
     def config(self) -> SystemConfig:
         return self._config
@@ -129,15 +139,26 @@ class MemoryLayout:
     # -- data <-> metadata mappings -------------------------------------------
 
     def require_data_address(self, address: int) -> int:
-        require_block_aligned(address)
-        if not self.data.contains(address):
+        if address % CACHE_LINE_SIZE or not 0 <= address < self._data_size:
+            # Slow path purely for the precise error.
+            require_block_aligned(address)
             raise AddressError(f"{address:#x} is not a data address")
         return address
 
     def counter_block_address(self, data_address: int) -> int:
         """Counter block protecting the 4 KiB page containing ``data_address``."""
-        self.require_data_address(data_address)
-        return self.counters.block_at(data_address // COUNTER_BLOCK_COVERAGE)
+        if data_address % CACHE_LINE_SIZE \
+                or not 0 <= data_address < self._data_size:
+            self.require_data_address(data_address)
+        address = (self._counters_base
+                   + (data_address // COUNTER_BLOCK_COVERAGE)
+                   * CACHE_LINE_SIZE)
+        if address >= self._counters_end:
+            # A data tail not covered by a whole counter block: delegate for
+            # the exact out-of-region error.
+            return self.counters.block_at(
+                data_address // COUNTER_BLOCK_COVERAGE)
+        return address
 
     def counter_slot(self, data_address: int) -> int:
         """Minor-counter index of ``data_address`` within its counter block."""
@@ -146,9 +167,16 @@ class MemoryLayout:
 
     def mac_block_address(self, data_address: int) -> int:
         """MAC block holding the 8 B MAC of the data block at ``data_address``."""
-        self.require_data_address(data_address)
-        return self.macs.block_at(
-            data_address // (CACHE_LINE_SIZE * MACS_PER_BLOCK))
+        if data_address % CACHE_LINE_SIZE \
+                or not 0 <= data_address < self._data_size:
+            self.require_data_address(data_address)
+        address = (self._macs_base
+                   + (data_address // (CACHE_LINE_SIZE * MACS_PER_BLOCK))
+                   * CACHE_LINE_SIZE)
+        if address >= self._macs_end:
+            return self.macs.block_at(
+                data_address // (CACHE_LINE_SIZE * MACS_PER_BLOCK))
+        return address
 
     def mac_slot(self, data_address: int) -> int:
         """Slot (0..7) of this data block's MAC within its MAC block."""

@@ -20,7 +20,7 @@ from repro.common.config import CacheConfig
 from repro.common.constants import CACHE_LINE_SIZE
 
 
-@dataclass
+@dataclass(slots=True)
 class MetaLine:
     """A resident metadata block: its NVM address, value object, dirty bit."""
 
@@ -37,6 +37,10 @@ class MetadataCache:
         self._sets: list[OrderedDict[int, MetaLine]] = [
             OrderedDict() for _ in range(config.num_sets)
         ]
+        # Plain ints for the per-op hot path (lookup/insert run once per
+        # metadata access); the dataclass chases stay off it.
+        self._num_sets: int = config.num_sets
+        self._ways: int = config.ways
         self.hits = 0
         self.misses = 0
 
@@ -49,10 +53,10 @@ class MetadataCache:
         return self._config.name
 
     def _set_for(self, address: int) -> OrderedDict[int, MetaLine]:
-        return self._sets[(address // CACHE_LINE_SIZE) % self._config.num_sets]
+        return self._sets[(address // CACHE_LINE_SIZE) % self._num_sets]
 
     def lookup(self, address: int) -> MetaLine | None:
-        cache_set = self._set_for(address)
+        cache_set = self._sets[(address // CACHE_LINE_SIZE) % self._num_sets]
         line = cache_set.get(address)
         if line is None:
             self.misses += 1
@@ -63,15 +67,16 @@ class MetadataCache:
 
     def insert(self, line: MetaLine) -> MetaLine | None:
         """Install ``line``, returning the evicted victim if the set was full."""
-        cache_set = self._set_for(line.address)
+        address = line.address
+        cache_set = self._sets[(address // CACHE_LINE_SIZE) % self._num_sets]
         victim: MetaLine | None = None
-        if line.address in cache_set:
-            cache_set[line.address] = line
-            cache_set.move_to_end(line.address)
+        if address in cache_set:
+            cache_set[address] = line
+            cache_set.move_to_end(address)
             return None
-        if len(cache_set) >= self._config.ways:
+        if len(cache_set) >= self._ways:
             _, victim = cache_set.popitem(last=False)
-        cache_set[line.address] = line
+        cache_set[address] = line
         return victim
 
     def contains(self, address: int) -> bool:

@@ -19,6 +19,8 @@ from repro.common.constants import (
     CACHE_LINE_SIZE,
     COUNTER_BLOCK_COVERAGE,
     MAC_SIZE,
+    MACS_PER_BLOCK,
+    MINOR_COUNTER_BITS,
 )
 from repro.common.config import CacheConfig
 from repro.common.errors import ConfigError, IntegrityError
@@ -35,6 +37,7 @@ from repro.stats.counters import SimStats
 from repro.stats.events import MacKind, ReadKind, WriteKind
 
 _ZERO_BLOCK = bytes(CACHE_LINE_SIZE)
+_MINOR_LIMIT = 1 << MINOR_COUNTER_BITS
 
 
 class SecureMemoryController:
@@ -138,6 +141,311 @@ class SecureMemoryController:
         return plaintext if plaintext is not None else _ZERO_BLOCK
 
     # ------------------------------------------------------------------
+    # Batched run-time execution (epoch replay)
+    # ------------------------------------------------------------------
+
+    def run_ops(self, ops: "list[tuple[str, int, bytes | None]]") \
+            -> list[bytes | None]:
+        """Execute an in-order stream of run-time ops, one at a time.
+
+        ``ops`` holds ``("w", address, data)`` / ``("r", address, None)``
+        tuples — the memory-side stream a cache hierarchy emits while
+        replaying a trace epoch (fetches and dirty evictions, in issue
+        order).  Returns one entry per op: the fetched plaintext for reads,
+        ``None`` for writes.  This scalar form is the specification
+        :meth:`run_ops_batch` is held to.
+        """
+        results: list[bytes | None] = []
+        append = results.append
+        write = self.write
+        read = self.read
+        for kind, address, data in ops:
+            if kind == "w":
+                write(address, data)
+                append(None)
+            else:
+                append(read(address))
+        return results
+
+    def run_ops_batch(self, ops: "list[tuple[str, int, bytes | None]]") \
+            -> list[bytes | None]:
+        """Batched :meth:`run_ops`: phase-confined epoch execution.
+
+        Observably identical to the scalar form — same NVM image, same
+        stats, same metadata-cache hits/misses/LRU states, same values —
+        because the three metadata regions are disjoint and each region's
+        access stream is issued in op order:
+
+        1. *counter phase* (op order): counter fetch/verify, increment,
+           scheme hook, counter/tree victim drains;
+        2. *crypto batch*: pads, ciphertexts, and data MACs for every write
+           through the :mod:`repro.crypto.batch` kernels (one shared frame
+           pass);
+        3. *data phase* (op order): grouped NVM issue of data reads/writes;
+        4. *MAC phase* (op order): MAC-cache stores/loads + MAC victim
+           drains;
+        5. *verify/decrypt batch*: batched VERIFY MACs and decryption for
+           the reads.
+
+        A write whose minor counter would overflow breaks the batch: the
+        prefix completes through the five stages, the overflowing op runs
+        its page re-encryption on the scalar path, and a fresh segment
+        resumes after it.  Accounting side channels the grouped NVM issue
+        cannot reproduce exactly (request traces, fault plans, wear) force
+        the scalar path, as does non-functional mode.  On a MAC mismatch
+        the same :class:`IntegrityError` is raised, though counters
+        recorded after the failing op may differ from scalar — the oracle
+        compares successful replays.
+        """
+        nvm = self.nvm
+        if (not self.batched or not self.functional
+                or nvm.trace is not None or nvm.fault_plan is not None
+                or nvm.wear is not None
+                or any(data is None
+                       for kind, _, data in ops if kind == "w")):
+            return self.run_ops(ops)
+        results: list[bytes | None] = [None] * len(ops)
+        start = 0
+        while start < len(ops):
+            start = self._run_segment(ops, start, results)
+        return results
+
+    def _run_segment(self, ops: "list[tuple[str, int, bytes | None]]",
+                     start: int, results: list[bytes | None]) -> int:
+        """Execute one overflow-free segment of ``ops`` starting at
+        ``start``; returns the index of the first unprocessed op."""
+        counter_block_address = self.layout.counter_block_address
+        ctr_lookup = self.counter_cache.lookup
+        fill_counter = self._fill_counter_line
+        require_data_address = self.layout.require_data_address
+        on_data_write = self.scheme.on_data_write
+        nvm = self.nvm
+        is_written = nvm.backend.is_written
+        drain = self.drain_victims
+        victims = self._victims
+        meta_kinds = ("counter", "tree")
+
+        pending_written: set[int] = set()
+        write_ops: list[int] = []
+        write_addrs: list[int] = []
+        write_ctrs: list[int] = []
+        write_data: list[bytes] = []
+        read_ops: list[int] = []
+        read_addrs: list[int] = []
+        read_ctrs: list[int] = []
+        zero_reads: list[int] = []
+        # Data-phase stream, op-ordered: a write is its op index, a read is
+        # the index's bitwise complement (both streams stay in op order, so
+        # later stages use positional cursors instead of index maps).
+        data_phase: list[int] = []
+
+        # Stage 1 — counter phase, in op order.  Increments, the scheme
+        # hook (dirty marking / eager propagation), and counter/tree victim
+        # drains all happen here so an intra-segment eviction sees the same
+        # metadata-cache state as under scalar issue.
+        overflow = -1
+        n = len(ops)
+        index = start
+        while index < n:
+            kind, address, data = ops[index]
+            if kind == "w":
+                cb_address = counter_block_address(address)
+                counter_line = ctr_lookup(cb_address)
+                if counter_line is None:
+                    counter_line = fill_counter(cb_address)
+                block: SplitCounterBlock = counter_line.value
+                slot = (address % COUNTER_BLOCK_COVERAGE) // CACHE_LINE_SIZE
+                # Inline of will_overflow/increment/counter_for for the
+                # non-overflow case — the only one that stays in the batch
+                # (the break leaves the block untouched for the scalar
+                # overflow tail below, exactly like will_overflow would).
+                minors = block.minors
+                minor = minors[slot] + 1
+                if minor >= _MINOR_LIMIT:
+                    overflow = index
+                    break
+                minors[slot] = minor
+                write_ops.append(index)
+                write_addrs.append(address)
+                write_ctrs.append(
+                    (block.major << MINOR_COUNTER_BITS) | minor)
+                write_data.append(data)  # type: ignore[arg-type]
+                pending_written.add(address)
+                data_phase.append(index)
+                on_data_write(self, counter_line)
+                if victims:
+                    drain(meta_kinds)
+            else:
+                data_phase.append(~index)
+                if is_written(address) or address in pending_written:
+                    cb_address = counter_block_address(address)
+                    counter_line = ctr_lookup(cb_address)
+                    if counter_line is None:
+                        counter_line = fill_counter(cb_address)
+                    read_ops.append(index)
+                    read_addrs.append(address)
+                    read_ctrs.append(counter_line.value.counter_for(
+                        (address % COUNTER_BLOCK_COVERAGE) // CACHE_LINE_SIZE))
+                    if victims:
+                        drain(meta_kinds)
+                else:
+                    # Never-written memory reads as zeros with nothing to
+                    # verify — the scalar path touches no metadata either,
+                    # but it does validate the address first.
+                    require_data_address(address)
+                    zero_reads.append(index)
+            index += 1
+
+        # Stage 2 — one crypto batch for every write in the segment.
+        write_macs: list[bytes]
+        if write_addrs:
+            from repro.crypto.batch import counter_frames
+            frames = counter_frames(write_addrs, write_ctrs)
+            ciphertext = self.aes.encrypt_batch(
+                write_addrs, write_ctrs, b"".join(write_data), frames)
+            assert ciphertext is not None  # functional mode, data present
+            write_macs = self.mac.block_mac_batch(
+                MacKind.DATA_PROTECT, ciphertext, write_addrs, write_ctrs,
+                domain=MacDomain.DATA, frames=frames)
+        else:
+            ciphertext = b""
+            write_macs = []
+
+        # Stage 3 — data-region NVM traffic, grouped into maximal
+        # consecutive same-direction runs (order between runs is op order,
+        # so an intra-segment read-after-write sees the fresh ciphertext).
+        read_blocks: dict[int, bytes] = {}
+        nvm_read = nvm.read
+        nvm_write = nvm.write
+        wpos = 0
+        pos = 0
+        total = len(data_phase)
+        while pos < total:
+            is_write = data_phase[pos] >= 0
+            stop = pos
+            # Single-op runs (the common case under mixed traffic) skip the
+            # batch-call plumbing; the device defines its batch paths as
+            # per-element scalar issue, so accounting is identical.
+            if is_write:
+                while stop < total and data_phase[stop] >= 0:
+                    stop += 1
+                if stop - pos == 1:
+                    offset = wpos * CACHE_LINE_SIZE
+                    wpos += 1
+                    nvm_write(ops[data_phase[pos]][1],
+                              ciphertext[offset:offset + CACHE_LINE_SIZE],
+                              WriteKind.DATA)
+                else:
+                    items = []
+                    for i in range(pos, stop):
+                        offset = wpos * CACHE_LINE_SIZE
+                        wpos += 1
+                        items.append(
+                            (ops[data_phase[i]][1],
+                             ciphertext[offset:offset + CACHE_LINE_SIZE],
+                             WriteKind.DATA))
+                    nvm.write_batch(
+                        items, kind_counts={WriteKind.DATA: len(items)})
+            else:
+                while stop < total and data_phase[stop] < 0:
+                    stop += 1
+                if stop - pos == 1:
+                    op_index = ~data_phase[pos]
+                    read_blocks[op_index] = nvm_read(ops[op_index][1],
+                                                     ReadKind.DATA)
+                else:
+                    indices = [~data_phase[i] for i in range(pos, stop)]
+                    blocks = nvm.read_batch(
+                        [ops[op_index][1] for op_index in indices],
+                        ReadKind.DATA)
+                    for op_index, block_data in zip(indices, blocks):
+                        read_blocks[op_index] = block_data
+            pos = stop
+
+        # Stage 4 — MAC-region phase, in op order, with per-op MAC victim
+        # drains (the scalar end-of-op drain's position in this region's
+        # stream).
+        stored_macs: list[bytes] = []
+        mac_kind = ("mac",)
+        mac_block_address = self.layout.mac_block_address
+        mac_lookup = self.mac_cache.lookup
+        fill_mac = self._fill_mac_line
+        wpos = 0
+        zpos = 0
+        num_zero = len(zero_reads)
+        for entry in data_phase:
+            if entry >= 0:
+                address = ops[entry][1]
+                mac_value = write_macs[wpos]
+                wpos += 1
+            else:
+                op_index = ~entry
+                # Zero reads touch no MAC state (scalar returns before the
+                # MAC load); both streams are op-ordered, so one cursor
+                # suffices to skip them.
+                if zpos < num_zero and zero_reads[zpos] == op_index:
+                    zpos += 1
+                    continue
+                address = ops[op_index][1]
+                mac_value = None
+            mb_address = mac_block_address(address)
+            mac_line = mac_lookup(mb_address)
+            if mac_line is None:
+                mac_line = fill_mac(mb_address)
+            offset = ((address // CACHE_LINE_SIZE) % MACS_PER_BLOCK) * MAC_SIZE
+            if mac_value is not None:
+                mac_line.value[offset:offset + MAC_SIZE] = mac_value
+                mac_line.dirty = True
+            else:
+                stored_macs.append(
+                    bytes(mac_line.value[offset:offset + MAC_SIZE]))
+            if victims:
+                drain(mac_kind)
+
+        # Stage 5 — batched verify + decrypt for the segment's reads.
+        if read_ops:
+            read_ct = b"".join(read_blocks[op_index] for op_index in read_ops)
+            actual_macs = self.mac.block_mac_batch(
+                MacKind.VERIFY, read_ct, read_addrs, read_ctrs,
+                domain=MacDomain.DATA)
+            for stored, address, actual in zip(stored_macs, read_addrs,
+                                               actual_macs):
+                if stored != actual:
+                    raise IntegrityError(
+                        f"data MAC mismatch at {address:#x}", address)
+            plaintext = self.aes.decrypt_batch(read_addrs, read_ctrs, read_ct)
+            assert plaintext is not None
+            for pos, op_index in enumerate(read_ops):
+                results[op_index] = plaintext[pos * CACHE_LINE_SIZE:
+                                              (pos + 1) * CACHE_LINE_SIZE]
+        for op_index in zero_reads:
+            results[op_index] = _ZERO_BLOCK
+
+        if overflow < 0:
+            return n
+
+        # Finish the overflowing write on the scalar path, reusing the
+        # counter access stage 1 already performed for it (a scalar run
+        # fetches exactly once too); its parked victims drain at the end,
+        # as the scalar end-of-op drain would.
+        _, address, data = ops[overflow]
+        old_block = block.copy()
+        block.increment(slot)
+        self._reencrypt_page(address, old_block, block, skip_slot=slot)
+        counter = block.counter_for(slot)
+        overflow_ct = self.aes.encrypt(address, counter, data)
+        mac_value = self.mac.block_mac(
+            MacKind.DATA_PROTECT, overflow_ct, address, counter,
+            domain=MacDomain.DATA)
+        self._store_data_mac(address, mac_value)
+        self.nvm.write(address,
+                       overflow_ct if overflow_ct is not None
+                       else _ZERO_BLOCK, WriteKind.DATA)
+        self.scheme.on_data_write(self, counter_line)
+        self.drain_victims()
+        return overflow + 1
+
+    # ------------------------------------------------------------------
     # Counter blocks
     # ------------------------------------------------------------------
 
@@ -147,7 +455,11 @@ class SecureMemoryController:
         line = self.counter_cache.lookup(cb_address)
         if line is not None:
             return line
+        return self._fill_counter_line(cb_address)
 
+    def _fill_counter_line(self, cb_address: int) -> MetaLine:
+        """Miss path of :meth:`get_counter_line`: the cache lookup (and its
+        hit/miss accounting) has already happened."""
         buffered = self._absorb_victim(cb_address)
         if buffered is not None:
             self._cache_insert(self.counter_cache, buffered, "counter")
@@ -266,7 +578,10 @@ class SecureMemoryController:
         line = self.mac_cache.lookup(mb_address)
         if line is not None:
             return line
+        return self._fill_mac_line(mb_address)
 
+    def _fill_mac_line(self, mb_address: int) -> MetaLine:
+        """Miss path of :meth:`_get_mac_line` (lookup already accounted)."""
         buffered = self._absorb_victim(mb_address)
         if buffered is not None:
             self._cache_insert(self.mac_cache, buffered, "mac")
@@ -309,14 +624,40 @@ class SecureMemoryController:
         entry = self._victims.pop(address, None)
         return entry[0] if entry is not None else None
 
-    def drain_victims(self) -> None:
-        """Write out parked victims (may cascade; runs to a fixed point)."""
-        if self._draining_victims:
+    def drain_victims(self, kinds: tuple[str, ...] | None = None) -> None:
+        """Write out parked victims (may cascade; runs to a fixed point).
+
+        ``kinds`` restricts the drain to victims of the named kinds
+        (``"counter"`` / ``"tree"`` / ``"mac"``), preserving FIFO order
+        among the matching entries.  The batched run-time path uses this to
+        drain counter/tree victims during its counter phase and MAC victims
+        during its MAC phase — each at the same point of its region's
+        access stream as the scalar path's end-of-op drain, which is what
+        keeps metadata-cache accounting identical.  Draining one kind can
+        park victims of another (a counter writeback touches the tree
+        cache); the loop re-scans until no matching victim remains.
+        """
+        if not self._victims or self._draining_victims:
             return
         self._draining_victims = True
         try:
             while self._victims:
-                _, (line, kind) = self._victims.popitem(last=False)
+                if kinds is None:
+                    _, (line, kind) = self._victims.popitem(last=False)
+                else:
+                    # The phase-confined drains only ever park victims of
+                    # the kinds they drain, so the FIFO head almost always
+                    # matches; scan only when it does not.
+                    address, (line, kind) = next(iter(self._victims.items()))
+                    if kind in kinds:
+                        del self._victims[address]
+                    else:
+                        found = next(
+                            (addr for addr, (_, k) in self._victims.items()
+                             if k in kinds), None)
+                        if found is None:
+                            return
+                        line, kind = self._victims.pop(found)
                 if kind == "counter":
                     self._writeback_counter(line)
                 elif kind == "tree":

@@ -13,6 +13,11 @@ from enum import Enum, unique
 class ReadKind(Enum):
     """Why a 64 B block was read from NVM."""
 
+    # Members are singletons and Enum equality is identity, so identity
+    # hashing is equivalent — and C-level, which matters because every
+    # simulated request hashes a kind into a Counter.
+    __hash__ = object.__hash__
+
     DATA = "data"
     COUNTER = "counter"
     TREE_NODE = "tree_node"
@@ -27,6 +32,8 @@ class ReadKind(Enum):
 @unique
 class WriteKind(Enum):
     """Why a 64 B block was written to NVM."""
+
+    __hash__ = object.__hash__  # identity hashing, see ReadKind
 
     DATA = "data"
     """In-place data block write (run-time write or baseline drain flush)."""
@@ -63,6 +70,8 @@ class WriteKind(Enum):
 class MacKind(Enum):
     """Why a MAC was computed."""
 
+    __hash__ = object.__hash__  # identity hashing, see ReadKind
+
     DATA_PROTECT = "data_protect"
     """MAC over (ciphertext, counter, address) written alongside data."""
 
@@ -88,6 +97,8 @@ class MacKind(Enum):
 @unique
 class AesKind(Enum):
     """Why a counter-mode pad was generated (one AES-block latency each)."""
+
+    __hash__ = object.__hash__  # identity hashing, see ReadKind
 
     ENCRYPT = "encrypt"
     DECRYPT = "decrypt"

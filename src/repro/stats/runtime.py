@@ -66,15 +66,14 @@ class RuntimePerfModel:
 
         ``system`` is anything with ``read``/``write``/``stats`` and a
         ``hierarchy`` (a :class:`~repro.core.system.SecureEpdSystem`).
+        Full systems replay epoch-batched (observably identical to the
+        scalar loop); bare test doubles fall back to per-op calls inside
+        :func:`repro.workloads.replay.replay`.
         """
-        from repro.workloads.trace import OpKind
+        from repro.workloads.replay import replay as replay_trace
 
         before = system.stats.copy()
         system.hierarchy.access_counts.clear()
-        for op in trace:
-            if op.kind is OpKind.WRITE:
-                system.write(op.address, op.data)
-            else:
-                system.read(op.address)
+        replay_trace(system, list(trace))
         return self.breakdown(system.hierarchy.access_counts,
                               system.stats.diff(before))

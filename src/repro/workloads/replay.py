@@ -1,0 +1,133 @@
+"""Epoch-batched trace replay.
+
+:func:`replay` is a drop-in for :func:`repro.workloads.generators.replay`
+(same ``expected`` return value, same observable system state afterwards)
+that slices the trace into epochs and executes each epoch in three fused
+steps instead of two Python calls per op:
+
+1. :meth:`~repro.cache.hierarchy.CacheHierarchy.replay_epoch` runs the whole
+   epoch through the caches in one pass, deferring the memory side into an
+   op-ordered ``mem_ops`` stream with :class:`~repro.cache.hierarchy.PendingFill`
+   markers standing in for fetched payloads;
+2. the memory side executes the stream batched —
+   :meth:`~repro.secure.controller.SecureMemoryController.run_ops_batch`
+   amortizes pad generation and MAC computation across the epoch (non-secure
+   systems group the stream into :class:`~repro.mem.nvm.NvmDevice` batch
+   calls);
+3. :meth:`~repro.cache.hierarchy.CacheHierarchy.resolve_pending` swaps each
+   marker for its fetched payload.
+
+Because the memory-side stream is issued in exactly the order the scalar
+replay would issue it, every observable — NVM image, SimStats counters,
+cache hit/miss/LRU state, metadata caches, lost writes — is byte-identical
+to scalar replay; ``REPRO_ORACLE`` episodes run both and compare
+(:func:`repro.core.oracle.run_replay_differential`).
+
+Accounting side channels the grouped paths cannot reproduce exactly
+(request traces, fault plans, wear tracking) force the scalar path, as do
+non-inclusive hierarchies and systems that lack the batch hooks entirely
+(:class:`~repro.stats.runtime.RuntimePerfModel` accepts bare test doubles).
+"""
+
+from repro.common.constants import CACHE_LINE_SIZE
+from repro.common.errors import ConfigError
+from repro.stats.events import ReadKind, WriteKind
+from repro.workloads.generators import replay as scalar_replay
+from repro.workloads.trace import MemoryOp, OpKind
+
+DEFAULT_EPOCH_OPS = 4096
+"""Trace ops per fused epoch: big enough to amortize the batched crypto
+kernels, small enough that an epoch's deferred fills stay cache-resident."""
+
+_ZERO_BLOCK = bytes(CACHE_LINE_SIZE)
+
+
+def _eligible(system, batched: bool | None) -> bool:
+    """Whether ``system`` can take the epoch-batched path."""
+    if batched is None:
+        batched = getattr(system, "batched", False)
+    if not batched:
+        return False
+    hierarchy = getattr(system, "hierarchy", None)
+    if hierarchy is None or not getattr(hierarchy, "inclusive", False) \
+            or not hasattr(hierarchy, "replay_epoch"):
+        return False
+    if getattr(system, "layout", None) is None:
+        return False
+    nvm = getattr(system, "nvm", None)
+    if nvm is None or nvm.trace is not None or nvm.fault_plan is not None \
+            or nvm.wear is not None:
+        return False
+    return True
+
+
+def _run_plain(nvm, mem_ops: "list[tuple[str, int, bytes | None]]") \
+        -> "list[bytes | None]":
+    """Non-secure memory side: the grouped-NVM equivalent of
+    ``SecureEpdSystem._plain_fetch`` / ``_plain_writeback``."""
+    results: list[bytes | None] = [None] * len(mem_ops)
+    pos = 0
+    total = len(mem_ops)
+    while pos < total:
+        kind = mem_ops[pos][0]
+        stop = pos
+        while stop < total and mem_ops[stop][0] == kind:
+            stop += 1
+        if kind == "r":
+            addresses = [mem_ops[i][1] for i in range(pos, stop)]
+            for i, block in zip(range(pos, stop),
+                                nvm.read_batch(addresses, ReadKind.DATA)):
+                results[i] = block
+        else:
+            items = [(mem_ops[i][1],
+                      mem_ops[i][2] if mem_ops[i][2] is not None
+                      else _ZERO_BLOCK,
+                      WriteKind.DATA) for i in range(pos, stop)]
+            nvm.write_batch(items, kind_counts={WriteKind.DATA: len(items)})
+        pos = stop
+    return results
+
+
+def replay(system, trace: "list[MemoryOp]", *,
+           epoch_ops: int = DEFAULT_EPOCH_OPS,
+           batched: bool | None = None) -> dict[int, bytes]:
+    """Run a trace against a system, epoch-batched when possible.
+
+    Returns the expected final content per written address, exactly as
+    :func:`repro.workloads.generators.replay` does.  ``batched`` defaults to
+    the system's own ``batched`` setting (the differential oracle passes an
+    explicit value per side); ineligible systems fall back to the scalar
+    loop.  Each unique address is validated once — validation carries no
+    accounting, so the per-op re-validation of the scalar path is not an
+    observable.
+    """
+    if epoch_ops <= 0:
+        raise ConfigError("epoch_ops must be positive")
+    if not _eligible(system, batched):
+        return scalar_replay(system, trace)
+
+    hierarchy = system.hierarchy
+    controller = getattr(system, "controller", None)
+    nvm = system.nvm
+    require = system.layout.require_data_address
+    write_kind = OpKind.WRITE
+    for address in {op.address for op in trace}:
+        require(address)
+    ops_buf: list[tuple[str, int, bytes | None]] = [
+        ("w", op.address, op.data) if op.kind is write_kind
+        else ("r", op.address, None)
+        for op in trace]
+    expected: dict[int, bytes] = {
+        op.address: op.data for op in trace if op.kind is write_kind}
+
+    for start in range(0, len(ops_buf), epoch_ops):
+        mem_ops, fills = hierarchy.replay_epoch(
+            ops_buf[start:start + epoch_ops])
+        if controller is not None:
+            results = controller.run_ops_batch(mem_ops)
+        else:
+            results = _run_plain(nvm, mem_ops)
+        hierarchy.resolve_pending(
+            fills, [result for mem_op, result in zip(mem_ops, results)
+                    if mem_op[0] == "r"])
+    return expected

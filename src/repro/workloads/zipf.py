@@ -12,6 +12,28 @@ from repro.common.errors import ConfigError
 from repro.common.rng import make_rng
 
 
+_CDF_CACHE: dict[tuple[int, float], tuple[list[float], float]] = {}
+"""Generalized-harmonic CDF tables, shared per ``(n, theta)``.
+
+Building the table is O(n) with a float power per key; a sweep that
+generates one trace per (workload, scheme, scale) cell re-derives the same
+table dozens of times.  Samplers only read the table (bisection), so every
+sampler over the same population shares one list."""
+
+
+def _cdf_for(n: int, theta: float) -> tuple[list[float], float]:
+    key = (n, theta)
+    entry = _CDF_CACHE.get(key)
+    if entry is None:
+        cdf: list[float] = []
+        total = 0.0
+        for k in range(n):
+            total += 1.0 / ((k + 1) ** theta)
+            cdf.append(total)
+        entry = _CDF_CACHE[key] = (cdf, total)
+    return entry
+
+
 class ZipfSampler:
     """Draws integers in ``[0, n)`` with P(k) proportional to 1/(k+1)^theta."""
 
@@ -22,12 +44,7 @@ class ZipfSampler:
         if theta < 0:
             raise ConfigError("zipf exponent must be non-negative")
         self._rng = make_rng(seed)
-        self._cdf: list[float] = []
-        total = 0.0
-        for k in range(n):
-            total += 1.0 / ((k + 1) ** theta)
-            self._cdf.append(total)
-        self._total = total
+        self._cdf, self._total = _cdf_for(n, theta)
 
     @property
     def population(self) -> int:

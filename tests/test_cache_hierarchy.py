@@ -145,3 +145,92 @@ class TestRestore:
         hierarchy.fill_worst_case(seed=1)
         hierarchy.invalidate_all()
         assert len(hierarchy) == 0
+
+
+class _OrderedMemory:
+    """Memory stub that records the exact ordered op stream it sees."""
+
+    def __init__(self):
+        self.store: dict[int, bytes] = {}
+        self.calls: list[tuple[str, int, bytes | None]] = []
+
+    def fetch(self, address: int) -> bytes:
+        self.calls.append(("r", address, None))
+        return self.store.get(address, bytes(64))
+
+    def writeback(self, address: int, data: bytes) -> None:
+        self.calls.append(("w", address, data))
+        self.store[address] = data
+
+
+def _mixed_ops(seed: int, num_ops: int, pool_blocks: int):
+    import random
+    rng = random.Random(seed)
+    ops = []
+    for i in range(num_ops):
+        address = rng.randrange(pool_blocks) * 64
+        if rng.random() < 0.4:
+            ops.append(("w", address, (i + 1).to_bytes(8, "little") * 8))
+        else:
+            ops.append(("r", address, None))
+    return ops
+
+
+class TestReplayEpochEquivalence:
+    """The fused ``replay_epoch`` path must be indistinguishable from the
+    scalar read/write loop — same memory-side op stream (in order), same
+    memory contents, same hit/miss counters and resident lines."""
+
+    @staticmethod
+    def _observe(hierarchy):
+        return {
+            "counts": dict(hierarchy.access_counts),
+            "levels": [(level.name, level.hits, level.misses)
+                       for level in hierarchy.levels],
+            "lines": [sorted((line.address, line.data, line.dirty)
+                             for line in level.lines())
+                      for level in hierarchy.levels],
+        }
+
+    def _run_both(self, tiny_config, ops, epoch_ops):
+        scalar = CacheHierarchy(tiny_config)
+        scalar_mem = _OrderedMemory()
+        scalar.attach(scalar_mem.fetch, scalar_mem.writeback)
+        for kind, address, data in ops:
+            if kind == "w":
+                scalar.write(address, data)
+            else:
+                scalar.read(address)
+
+        batched = CacheHierarchy(tiny_config)
+        batched_mem = _OrderedMemory()
+        for start in range(0, len(ops), epoch_ops):
+            mem_ops, fills = batched.replay_epoch(ops[start:start + epoch_ops])
+            fetched = []
+            for kind, address, data in mem_ops:
+                if kind == "r":
+                    fetched.append(batched_mem.fetch(address))
+                else:
+                    batched_mem.writeback(address, data)
+            batched.resolve_pending(fills, fetched)
+
+        assert scalar_mem.calls == batched_mem.calls
+        assert scalar_mem.store == batched_mem.store
+        assert self._observe(scalar) == self._observe(batched)
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_mixed_workload_matches_scalar(self, tiny_config, seed):
+        self._run_both(tiny_config, _mixed_ops(seed, 3000, 800),
+                       epoch_ops=512)
+
+    def test_all_hit_regime(self, tiny_config):
+        # Pool far smaller than L1: after warmup every op hits.
+        self._run_both(tiny_config, _mixed_ops(6, 2000, 16), epoch_ops=4096)
+
+    def test_thrash_regime_with_tiny_epochs(self, tiny_config):
+        # Pool far larger than the LLC: every epoch spills and refills.
+        self._run_both(tiny_config, _mixed_ops(7, 2000, 20000), epoch_ops=64)
+
+    def test_degenerate_epochs(self, tiny_config):
+        self._run_both(tiny_config, [], epoch_ops=8)
+        self._run_both(tiny_config, [("w", 0, b"\x05" * 64)], epoch_ops=8)

@@ -1,0 +1,102 @@
+"""Golden replay operation counts, pinned and cross-checked.
+
+Trace replay is deterministic per (config, scheme, trace seed): the cache
+access mix, every SimStats counter, and the final NVM image are pure
+functions of the inputs.  The exact counters for a YCSB-A trace at two
+hierarchy scales on a baseline and a Horus scheme are committed as
+``tests/golden/replay_op_counts.json``; a batching rewrite, a cache-policy
+tweak, or an accounting slip shows up as a fixture diff that has to be
+reviewed and regenerated deliberately:
+
+    REPRO_REGOLDEN=1 PYTHONPATH=src python -m pytest tests/test_golden_replay.py
+
+The fixture is additionally cross-checked against the closed-form replay
+invariants in :mod:`repro.core.analytic`, so a regeneration can never
+silently commit counters the model rejects.
+"""
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.common.config import SystemConfig
+from repro.core.analytic import validate_replay_counts
+from repro.core.system import SecureEpdSystem
+from repro.workloads.replay import replay
+from repro.workloads.ycsb import ycsb_trace
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "replay_op_counts.json"
+SCALES = (256, 128)
+SCHEMES = ("base-eu", "horus-dlm")
+TRACE_SEED = 87
+
+
+def make_trace(config: SystemConfig):
+    footprint = config.llc.num_lines * 4
+    return ycsb_trace("a", num_ops=2 * footprint,
+                      footprint_blocks=footprint, seed=TRACE_SEED)
+
+
+def replay_counts(scale: int, scheme: str) -> dict:
+    config = SystemConfig.scaled(scale)
+    system = SecureEpdSystem(config, scheme=scheme)
+    trace = make_trace(config)
+    expected = replay(system, trace)
+    image = system.nvm.backend.image()
+    digest = hashlib.sha256()
+    for address in sorted(image):
+        digest.update(address.to_bytes(8, "little"))
+        digest.update(image[address])
+    return {
+        "num_ops": len(trace),
+        "written_addresses": len(expected),
+        "access_counts": dict(system.hierarchy.access_counts),
+        "stats": system.stats.snapshot(),
+        "nvm_sha256": digest.hexdigest(),
+    }
+
+
+def current_counts() -> dict:
+    return {str(scale): {scheme: replay_counts(scale, scheme)
+                         for scheme in SCHEMES}
+            for scale in SCALES}
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict:
+    if os.environ.get("REPRO_REGOLDEN") == "1":
+        counts = current_counts()
+        GOLDEN_PATH.parent.mkdir(exist_ok=True)
+        GOLDEN_PATH.write_text(
+            json.dumps(counts, indent=2, sort_keys=True) + "\n")
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+class TestGoldenReplayCounts:
+    @pytest.mark.parametrize("scale", SCALES)
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_simulator_matches_fixture(self, golden, scale, scheme):
+        assert replay_counts(scale, scheme) == \
+            golden[str(scale)][scheme], (
+            f"{scheme}@1/{scale} replay drifted from the committed "
+            f"counters; if intentional, regenerate with REPRO_REGOLDEN=1")
+
+    @pytest.mark.parametrize("scale", SCALES)
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_fixture_satisfies_closed_form(self, golden, scale, scheme):
+        """The committed counters obey the analytic replay invariants."""
+        entry = golden[str(scale)][scheme]
+        validate_replay_counts(scheme, entry["num_ops"],
+                               entry["access_counts"], entry["stats"])
+
+    def test_closed_form_rejects_corrupt_counters(self, golden):
+        """The cross-check has teeth: a fixture with one dropped encryption
+        cannot validate."""
+        entry = json.loads(json.dumps(golden["128"]["horus-dlm"]))
+        entry["stats"]["aes"]["encrypt"] -= 1
+        with pytest.raises(AssertionError, match="diverge"):
+            validate_replay_counts("horus-dlm", entry["num_ops"],
+                                   entry["access_counts"], entry["stats"])

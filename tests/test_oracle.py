@@ -61,6 +61,50 @@ class TestZeroDivergence:
             oracle.run_differential(CONFIG, "horus-slm", recover=True)
 
 
+class TestReplayZeroDivergence:
+    """Runtime twin of the drain sweep: scalar vs epoch-batched replay."""
+
+    SCHEMES = ("base-lu", "base-eu", "horus-slm", "horus-dlm")
+
+    @staticmethod
+    def _trace(workload: str, num_ops: int = 1200):
+        from repro.workloads.ycsb import ycsb_trace
+        return ycsb_trace(workload, num_ops=num_ops,
+                          footprint_blocks=CONFIG.llc.num_lines * 2,
+                          seed=87)
+
+    @pytest.mark.parametrize("workload", list("abcdef"))
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_ycsb_sweep_never_diverges(self, scheme, workload):
+        outcome = oracle.run_replay_differential(
+            CONFIG, scheme, self._trace(workload), epoch_ops=256)
+        assert outcome.expected is not None
+        assert outcome.checks >= 8
+
+    def test_nosec_replay_never_diverges(self):
+        """The grouped-NVM (controller-less) path is held equal too."""
+        outcome = oracle.run_replay_differential(
+            CONFIG, "nosec", self._trace("a"), epoch_ops=256)
+        assert outcome.expected is not None
+
+    def test_planted_divergence_is_caught(self, monkeypatch):
+        """Corrupt one batched MAC: a later read of that address fails
+        verification only on the batched side, and the oracle names it."""
+        real = batch.compute_block_macs
+
+        def corrupted(key, buffer, addresses, counters, domain,
+                      frames=None):
+            macs = real(key, buffer, addresses, counters, domain, frames)
+            if macs:
+                macs[-1] = bytes(len(macs[-1]))
+            return macs
+
+        monkeypatch.setattr(batch, "compute_block_macs", corrupted)
+        with pytest.raises(OracleDivergenceError, match="diverged on"):
+            oracle.run_replay_differential(CONFIG, "horus-dlm",
+                                           self._trace("a"), epoch_ops=256)
+
+
 class TestSampling:
     @pytest.fixture(autouse=True)
     def _reset_counter(self, monkeypatch):
@@ -103,3 +147,25 @@ class TestRunEpisodeIntegration:
         assert checked.metadata_blocks == plain.metadata_blocks
         assert checked.cycles == plain.cycles
         assert checked.stats.snapshot() == plain.stats.snapshot()
+
+    def test_sampled_replay_substitutes_transparently(self, monkeypatch):
+        """A differential replay returns the same contents and stats a
+        plain one would."""
+        from repro.experiments.suite import run_replay_episode
+        from repro.workloads.ycsb import ycsb_trace
+
+        trace = ycsb_trace("a", num_ops=600,
+                           footprint_blocks=CONFIG.llc.num_lines * 2,
+                           seed=87)
+        monkeypatch.delenv("REPRO_ORACLE", raising=False)
+        plain_system, plain_expected = run_replay_episode(
+            CONFIG, "horus-slm", trace, epoch_ops=128)
+        monkeypatch.setenv("REPRO_ORACLE", "1")
+        monkeypatch.setattr(oracle, "_EPISODES_SEEN", 0)
+        checked_system, checked_expected = run_replay_episode(
+            CONFIG, "horus-slm", trace, epoch_ops=128)
+        assert checked_expected == plain_expected
+        assert (checked_system.stats.snapshot()
+                == plain_system.stats.snapshot())
+        assert (checked_system.nvm.backend.image()
+                == plain_system.nvm.backend.image())

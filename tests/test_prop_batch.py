@@ -8,6 +8,7 @@ that repeat the same address (the drain never produces those, but the
 primitives must not care).
 """
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -44,6 +45,9 @@ BATCH_COVERAGE = {
     "SparseMemory.read_blocks": "oracle NVM image + tests/test_mem_backend.py",
     "SparseMemory.write_blocks":
         "oracle NVM image + tests/test_mem_backend.py",
+    "SecureMemoryController.run_ops_batch":
+        "TestRunOpsEquivalence + oracle replay "
+        "(repro.core.oracle.run_replay_differential)",
 }
 
 keys = st.binary(min_size=1, max_size=64)
@@ -211,3 +215,115 @@ class TestSplitBlocks:
     @settings(max_examples=examples(50))
     def test_split_inverts_join(self, parts):
         assert batch.split_blocks(b"".join(parts)) == parts
+
+
+# -- run_ops_batch vs the scalar op loop --------------------------------------
+
+def _make_controller(batched: bool, scheme: str):
+    from repro.common.config import SystemConfig
+    from repro.mem.nvm import NvmDevice
+    from repro.mem.regions import MemoryLayout
+    from repro.secure.controller import SecureMemoryController
+
+    config = SystemConfig.scaled(512)
+    layout = MemoryLayout(config)
+    stats = SimStats()
+    nvm = NvmDevice(layout.total_size, stats)
+    return SecureMemoryController(config, nvm, layout, stats,
+                                  scheme=scheme, batched=batched)
+
+
+def _controller_state(controller) -> dict:
+    return {
+        "image": controller.nvm.backend.image(),
+        "stats": controller.stats.snapshot(),
+        "hit rates": [(cache.name, cache.hits, cache.misses)
+                      for cache in controller.metadata_caches],
+        "meta lines": [
+            sorted((line.address, bytes(controller.line_bytes(line)),
+                    line.dirty) for line in cache.lines())
+            for cache in controller.metadata_caches],
+        "root": controller.root_mac,
+        "lost": list(controller.nvm.lost_writes),
+    }
+
+
+# Addresses draw from a pool spanning several counter/MAC blocks but small
+# enough that most op lists revisit an address — the duplicate and
+# read-after-write cases the epoch batching must phase correctly.
+_OP_ADDRESSES = tuple(i * CACHE_LINE_SIZE for i in range(0, 260, 13))
+
+
+@st.composite
+def op_lists(draw, min_size=0, max_size=24):
+    pool = draw(st.lists(st.sampled_from(_OP_ADDRESSES), min_size=1,
+                         max_size=4, unique=True))
+    size = draw(st.integers(min_size, max_size))
+    ops = []
+    for i in range(size):
+        address = draw(st.sampled_from(pool))
+        if draw(st.booleans()):
+            ops.append(("w", address, bytes([i % 251]) * CACHE_LINE_SIZE))
+        else:
+            ops.append(("r", address, None))
+    return ops
+
+
+class TestRunOpsEquivalence:
+    """The controller's epoch entry point: same results, same state.
+
+    ``run_ops`` (the scalar per-op loop) is the specification;
+    ``run_ops_batch`` phases the same stream through the batched crypto and
+    grouped NVM paths, so every observable — read results, NVM image, stats,
+    metadata-cache hit/miss/LRU/content, tree root — must match on every op
+    list, including empty ones, singletons, duplicate addresses, and
+    read-after-write within one epoch.
+    """
+
+    @pytest.mark.parametrize("scheme", ["lazy", "eager"])
+    @given(ops=op_lists())
+    @settings(max_examples=examples(25), deadline=None)
+    def test_batch_matches_scalar(self, scheme, ops):
+        scalar = _make_controller(False, scheme)
+        batched = _make_controller(True, scheme)
+        assert scalar.run_ops(list(ops)) == batched.run_ops_batch(list(ops))
+        assert _controller_state(scalar) == _controller_state(batched)
+
+    @pytest.mark.parametrize("size", [0, 1])
+    def test_degenerate_batch_sizes(self, size):
+        ops = [("w", 0, bytes(64))][:size]
+        scalar = _make_controller(False, "lazy")
+        batched = _make_controller(True, "lazy")
+        assert scalar.run_ops(list(ops)) == batched.run_ops_batch(list(ops))
+        assert _controller_state(scalar) == _controller_state(batched)
+
+    def test_read_after_write_within_one_batch(self):
+        """A read of an address written earlier in the same op list must
+        return the new ciphertext's plaintext on both paths."""
+        data = bytes(range(64))
+        ops = [("w", 128, data), ("r", 128, None), ("w", 128, data[::-1]),
+               ("r", 128, None), ("r", 64, None)]
+        scalar = _make_controller(False, "lazy")
+        batched = _make_controller(True, "lazy")
+        results_s = scalar.run_ops(list(ops))
+        results_b = batched.run_ops_batch(list(ops))
+        assert results_s == results_b
+        assert results_b[1] == data
+        assert results_b[3] == data[::-1]
+        assert results_b[4] == bytes(CACHE_LINE_SIZE)  # never written
+
+    @pytest.mark.parametrize("scheme", ["lazy", "eager"])
+    def test_minor_counter_overflow_stays_equivalent(self, scheme):
+        """Force a minor-counter overflow mid-batch: the batch must fall
+        back to the scalar overflow path with identical observables."""
+        from repro.crypto.counters import SplitCounterBlock
+
+        scalar = _make_controller(False, scheme)
+        batched = _make_controller(True, scheme)
+        for controller in (scalar, batched):
+            block: SplitCounterBlock = controller.get_counter_line(0).value
+            block.minors[0] = 126
+        ops = [("w", 0, bytes([i]) * 64) for i in range(4)] \
+            + [("r", 0, None), ("w", 64, bytes(64)), ("r", 64, None)]
+        assert scalar.run_ops(list(ops)) == batched.run_ops_batch(list(ops))
+        assert _controller_state(scalar) == _controller_state(batched)

@@ -49,11 +49,23 @@ class TestRunProfile:
             ["fig16", "ablation-coalescing"], scale=SCALE, jobs=1)
         assert len(results) == 2
         assert profile.jobs == 1
-        names = [r.name for r in profile.records]
+        names = [r.name for r in profile.records
+                 if r.kind == "experiment"]
         assert names == ["fig16", "ablation-coalescing"]
         assert all(r.worker == "main" for r in profile.records)
         assert all(r.source == "computed" for r in profile.records)
         assert profile.wall_seconds > 0
+
+    def test_serial_profile_subdivides_episodes_into_phases(self):
+        """--profile timelines show where inside an episode time went:
+        each computed drain episode contributes fill: and drain: spans."""
+        results, profile = run_experiments_profiled(
+            ["fig11"], scale=SCALE, jobs=1)
+        phases = [r for r in profile.records if r.kind == "phase"]
+        stages = {r.name.split(":", 1)[0] for r in phases}
+        assert {"fill", "drain"} <= stages
+        assert all(r.seconds >= 0 and r.started >= 0 for r in phases)
+        assert profile.render()  # phases render in the same timeline
 
     def test_parallel_profile_tracks_episodes_and_workers(self):
         results, profile = run_experiments_profiled(

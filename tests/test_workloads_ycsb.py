@@ -46,6 +46,25 @@ class TestZipfSampler:
         with pytest.raises(ConfigError):
             ZipfSampler(10).probability(10)
 
+    def test_same_population_shares_one_cdf_table(self):
+        """The harmonic table is memoized per (n, theta): samplers over the
+        same population alias one list instead of re-deriving it."""
+        first = ZipfSampler(333, theta=0.77, seed=1)
+        second = ZipfSampler(333, theta=0.77, seed=99)
+        assert first._cdf is second._cdf
+        assert ZipfSampler(333, theta=0.99, seed=1)._cdf is not first._cdf
+
+    def test_shared_table_leaves_streams_identical(self):
+        """Sharing the CDF cannot perturb draws: two same-seed samplers
+        interleaved with a third stay identical to an isolated pair."""
+        a, b = ZipfSampler(64, seed=7), ZipfSampler(64, seed=7)
+        other = ZipfSampler(64, seed=8)
+        interleaved = []
+        for _ in range(100):
+            interleaved.append(a.sample())
+            other.sample()
+        assert interleaved == b.sample_many(100)
+
 
 class TestYcsbMixes:
     FOOTPRINT = 128
