@@ -20,6 +20,7 @@ class Adversary:
 
     def __init__(self, nvm: NvmDevice):
         self._backend = nvm.backend
+        self._marks: dict[int, bytes] = {}
 
     def observe(self, address: int) -> bytes:
         """Bus snooping / memory scanning: read a block without detection."""
@@ -56,3 +57,28 @@ class Adversary:
         b = self._backend.read_block(address_b)
         self._backend.corrupt_block(address_a, b)
         self._backend.corrupt_block(address_b, a)
+
+    def mark(self, address: int) -> bytes:
+        """Remember a block's current content as a rollback point.
+
+        Unlike :meth:`snapshot` (whose capture the *caller* carries around
+        for a later :meth:`replay`), marks live inside the adversary — the
+        attacker bookmarking interesting state early in an episode to
+        revert to later.  Returns the captured content.
+        """
+        content = self._backend.read_block(address)
+        self._marks[address] = content
+        return content
+
+    def rollback(self, address: int) -> bytes:
+        """Revert a block to its content at the last :meth:`mark`.
+
+        Returns the content the rollback displaced.  Raises
+        :class:`AddressError` if the block was never marked — a rollback
+        needs a recorded past.
+        """
+        if address not in self._marks:
+            raise AddressError(f"no rollback mark for block {address:#x}")
+        displaced = self._backend.read_block(address)
+        self._backend.corrupt_block(address, self._marks[address])
+        return displaced

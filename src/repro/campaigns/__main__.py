@@ -1,0 +1,86 @@
+"""Run the adversarial campaign grid from the command line.
+
+::
+
+    python -m repro.campaigns                    # full grid, serial
+    python -m repro.campaigns --jobs 4           # cells fan out over a pool
+    python -m repro.campaigns --scale 64         # bigger simulated system
+    python -m repro.campaigns --no-cache         # ignore the result cache
+
+Exits non-zero if any cell classifies as ``silent-corruption`` — the grid
+is the zero-silent-corruption invariant made executable, so a silent cell
+must fail loudly in CI and everywhere else.
+"""
+
+import argparse
+import sys
+
+from repro.campaigns.engine import (
+    CAMPAIGN_LINES,
+    CampaignResult,
+    render_markdown,
+    run_campaign,
+)
+from repro.common.config import SystemConfig
+from repro.experiments.cache import ResultCache
+
+
+def _summary(result: CampaignResult) -> str:
+    counts = result.outcome_counts()
+    ordered = ", ".join(f"{outcome}: {count}"
+                        for outcome, count in sorted(counts.items()))
+    return (f"{len(result.cells)} cells ({ordered}); "
+            f"{len(result.skips)} inapplicable combinations skipped "
+            f"with reasons; lattice {result.lattice}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.campaigns",
+        description="Adversarial campaign grid: scheme variants x "
+                    "attack/fault scenarios x injection windows.")
+    parser.add_argument("--scale", type=int, default=512,
+                        help="SystemConfig.scaled() divisor (default 512)")
+    parser.add_argument("--lines", type=int, default=CAMPAIGN_LINES,
+                        help=f"dirty lines per episode "
+                             f"(default {CAMPAIGN_LINES})")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for cell fan-out")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="do not read or write the result cache")
+    parser.add_argument("--refresh", action="store_true",
+                        help="recompute every cell but keep storing")
+    parser.add_argument("--markdown", action="store_true",
+                        help="print the full per-cell table")
+    args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+    if args.lines < 4:
+        parser.error("--lines must be >= 4")
+
+    config = SystemConfig.scaled(args.scale)
+    cache = ResultCache(enabled=not args.no_cache, refresh=args.refresh)
+    result = run_campaign(config, lines=args.lines, jobs=args.jobs,
+                          cache=cache)
+
+    if args.markdown:
+        print(render_markdown(result))
+        print()
+    print(_summary(result))
+    print(f"cache: {cache.hits} hits, {cache.misses} misses, "
+          f"{cache.stores} stores")
+
+    silent = result.silent_cells()
+    if silent:
+        print(f"\nSILENT-CORRUPTION INVARIANT VIOLATED "
+              f"({len(silent)} cells):", file=sys.stderr)
+        for cell in silent:
+            print(f"  {cell.scheme} / {cell.scenario} / {cell.window}: "
+                  f"{cell.detail}", file=sys.stderr)
+        return 1
+    print("zero silent-corruption cells: invariant holds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

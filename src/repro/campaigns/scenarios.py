@@ -1,0 +1,140 @@
+"""The campaign lattice: scheme variants × scenarios × injection windows.
+
+A *scenario* is either one adversary action aimed at one block kind
+(``tamper``/``spoof``/``splice``/``replay``/``rollback`` × ``data``/
+``mac``/``counter``/``chv``/``shadow``) or one drain-stream fault class
+from the crash matrix.  A *window* is when the injection lands in the
+episode's life.  :func:`applicability` is the lattice's skip oracle: every
+(variant, scenario, window) combination is either runnable or carries an
+explicit reason why the combination does not physically exist — nothing is
+silently dropped.
+"""
+
+from dataclasses import dataclass
+
+SCHEME_VARIANTS: tuple[tuple[str, bool], ...] = (
+    ("nosec", False),
+    ("base-lu", False),
+    ("base-eu", False),
+    ("horus-slm", False),
+    ("horus-slm", True),
+    ("horus-dlm", False),
+    ("horus-dlm", True),
+)
+"""(scheme, rotate_vault) pairs the matrix and the campaigns sweep."""
+
+FAULT_CLASSES = ("power-cut", "torn-write", "dropped-write", "bit-flip")
+"""The crash matrix's drain-stream fault classes."""
+
+ATTACK_ACTIONS = ("tamper", "spoof", "splice", "replay", "rollback")
+"""Adversary verbs (Section IV-A threat model)."""
+
+ATTACK_TARGETS = ("data", "mac", "counter", "chv", "shadow")
+"""Block kinds an attack can aim at."""
+
+MID_REPLAY = "mid-replay"
+"""During the replay epoch (run time), before the crash."""
+
+MID_DRAIN = "mid-drain"
+"""Pinned to the middle of the drain's NVM write stream."""
+
+PRE_RECOVERY = "pre-recovery"
+"""Between the crash and the start of recovery (the classic window)."""
+
+MID_RECOVERY = "mid-recovery"
+"""During recovery, followed by a nested power cut and re-recovery."""
+
+POST_RECOVERY = "post-recovery"
+"""After recovery completed, before the application's first reads."""
+
+WINDOWS: tuple[str, ...] = (MID_REPLAY, MID_DRAIN, PRE_RECOVERY,
+                            MID_RECOVERY, POST_RECOVERY)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One adversarial scenario: an attack (action × target) or a fault.
+
+    Fault scenarios have ``target=None`` and an ``action`` naming a crash-
+    matrix fault class; attack scenarios pair an adversary verb with the
+    block kind it aims at.
+    """
+
+    action: str
+    target: str | None = None
+
+    @property
+    def kind(self) -> str:
+        """``"fault"`` for drain-stream faults, ``"attack"`` otherwise."""
+        return "fault" if self.action in FAULT_CLASSES else "attack"
+
+    @property
+    def name(self) -> str:
+        if self.target is None:
+            return self.action
+        return f"{self.action}-{self.target}"
+
+
+DEFAULT_SCENARIOS: tuple[Scenario, ...] = (
+    # Integrity attacks: flip bits in every protected block kind.
+    Scenario("tamper", "data"),
+    Scenario("tamper", "mac"),
+    Scenario("tamper", "counter"),
+    Scenario("tamper", "chv"),
+    Scenario("tamper", "shadow"),
+    # Spoofing: replace a block with attacker-chosen content.
+    Scenario("spoof", "data"),
+    Scenario("spoof", "chv"),
+    # Splicing: swap two authentic blocks (relocation).
+    Scenario("splice", "data"),
+    Scenario("splice", "chv"),
+    # Replay: re-inject stale-but-authentic content from a *previous*
+    # episode (what the persistent drain counters exist to catch).
+    Scenario("replay", "data"),
+    Scenario("replay", "chv"),
+    # Rollback: revert a block to its pre-episode content.
+    Scenario("rollback", "data"),
+    # The crash matrix's fault classes ride in the same lattice.
+    Scenario("power-cut"),
+    Scenario("torn-write"),
+    Scenario("dropped-write"),
+    Scenario("bit-flip"),
+)
+"""The default 12-attack + 4-fault scenario set (a 560-combination
+lattice over the seven scheme variants and five windows)."""
+
+
+def variant_name(scheme: str, rotate_vault: bool) -> str:
+    """Display name of a (scheme, rotate_vault) variant."""
+    return f"{scheme}+rot" if rotate_vault else scheme
+
+
+def applicability(scheme: str, scenario: Scenario,
+                  window: str) -> str | None:
+    """Why this (variant, scenario, window) cell cannot run — or ``None``.
+
+    Inapplicable combinations are *recorded* as skips with these reasons,
+    never silently dropped; the lattice accounting test asserts
+    ``cells + skips == variants × scenarios × windows``.
+    """
+    if scenario.kind == "fault":
+        if window != MID_DRAIN:
+            return ("drain-stream faults are defined by the drain's write "
+                    "stream; only the mid-drain window has one")
+        return None
+    target = scenario.target
+    if target in ("mac", "counter") and scheme == "nosec":
+        return "nosec keeps no MAC/counter metadata to attack"
+    if target == "chv":
+        if not scheme.startswith("horus"):
+            return "only Horus schemes keep a CHV"
+        if window == MID_REPLAY:
+            return "the CHV is not written until the drain"
+    if target == "shadow":
+        if scheme != "base-lu":
+            return "only Base-LU persists a shadow dump"
+        if window == MID_REPLAY:
+            return "the shadow dump is not written until the drain"
+    if window == MID_RECOVERY and scheme in ("nosec", "base-eu"):
+        return "scheme has no recovery phase to interrupt"
+    return None

@@ -68,6 +68,13 @@ class HorusRecovery:
         self._dlm = double_level_mac
         self.rotate_vault = rotate_vault
         self.batched = batching_enabled(batched)
+        self.step_hook = None
+        """Optional callback ``step_hook(position)`` invoked before each
+        vault position is read back.  The campaign engine uses it to model
+        tampering or a nested power cut
+        (:class:`~repro.faults.plan.PowerInterrupt`) at a
+        precise recovery step; while set, recovery takes the scalar path so
+        every position is a distinct step."""
         self.mode = mode
         """The paper's two recovery options (Section IV-C3): ``refill``
         places verified blocks back in the LLC dirty (option 1, inclusive
@@ -95,7 +102,8 @@ class HorusRecovery:
             group_align=self.mac_group)
 
         writeback_queue: list[tuple[int, bytes]] = []
-        if self.batched and self._nvm.trace is None:
+        if (self.batched and self._nvm.trace is None
+                and self.step_hook is None):
             self._recover_batched(count, rotation, writeback_queue)
         else:
             self._recover_scalar(count, rotation, writeback_queue)
@@ -127,6 +135,8 @@ class HorusRecovery:
         dlm_pending: list[tuple[int, int, bytes]] = []
 
         for position in range(count):
+            if self.step_hook is not None:
+                self.step_hook(position)
             if position % ADDRESSES_PER_BLOCK == 0:
                 group = rotation.address_group(
                     position // ADDRESSES_PER_BLOCK)

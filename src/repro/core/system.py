@@ -163,6 +163,32 @@ class SecureEpdSystem:
         self.last_drain = report
         return report
 
+    @property
+    def recovery_engine(self):
+        """The scheme's recovery engine (``None`` for nosec / base-eu).
+
+        Exposed so fault campaigns can install recovery step hooks
+        (:attr:`~repro.core.recovery.HorusRecovery.step_hook`) without
+        reaching into private state.
+        """
+        return self._recovery
+
+    def power_cycle(self) -> None:
+        """A nested power cut: lose all volatile state *again*, without a
+        drain (the hold-up source is empty between crash and recovery).
+
+        Models power failing mid-recovery: whatever recovery already placed
+        back in the hierarchy or metadata caches is volatile and vanishes;
+        the persistent registers (DC/eDC, tree roots, shadow count) and the
+        NVM image survive, so a subsequent :meth:`recover` re-runs the whole
+        restore from persistent state.
+        """
+        if self.last_drain is None:
+            raise DrainStateError("power_cycle() before any crash()")
+        self.hierarchy.invalidate_all()
+        if self.controller is not None:
+            self.controller.drop_volatile_state()
+
     def recover(self) -> RecoveryReport | None:
         """Power restoration: restore the drained state.
 

@@ -117,6 +117,27 @@ def experiment_key(name: str, config: SystemConfig, scale: int,
     })
 
 
+def campaign_cell_key(config: SystemConfig, variant: str, scenario: str,
+                      window: str, lines: int, fill_seed: int,
+                      drain_seed: int) -> str:
+    """Cache key for one adversarial-campaign cell.
+
+    A cell is a pure function of the configuration, the (scheme, rotation)
+    variant, the scenario × window coordinates, the episode size, and the
+    seeds — plus the code version folded in by :func:`_digest`, so any
+    simulator change re-runs the whole grid.
+    """
+    return _digest("campaign-cell", {
+        "config": config_token(config),
+        "variant": variant,
+        "scenario": scenario,
+        "window": window,
+        "lines": lines,
+        "fill_seed": fill_seed,
+        "drain_seed": drain_seed,
+    })
+
+
 class ResultCache:
     """Pickle-per-key cache with hit/miss accounting.
 

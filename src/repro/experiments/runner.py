@@ -32,6 +32,7 @@ from collections.abc import Callable
 
 from repro.experiments import ablations
 from repro.experiments.adr_comparison import run as run_adr
+from repro.experiments.campaigns import run as run_campaigns
 from repro.experiments.faults import run as run_faults
 from repro.experiments.availability import run as run_availability
 from repro.experiments.parallelism import run as run_parallelism
@@ -82,6 +83,7 @@ EXPERIMENTS: dict[str, Callable[[DrainSuite], ExperimentResult]] = {
     "ablation-availability": run_availability,
     "ablation-scheduler": run_scheduling,
     "ablation-faults": run_faults,
+    "ablation-campaigns": run_campaigns,
 }
 
 _ALL_SCHEMES = ("nosec", "base-lu", "base-eu", "horus-slm", "horus-dlm")
@@ -111,6 +113,7 @@ EXPERIMENT_EPISODES: dict[str, tuple[tuple[str, int | None], ...]] = {
     "ablation-availability": (),
     "ablation-scheduler": (),
     "ablation-faults": (),
+    "ablation-campaigns": (),
 }
 
 

@@ -3,53 +3,68 @@
 For each scheme variant (the five paper schemes, plus the Horus schemes with
 the rotated vault) and each fault class, one cell runs
 fill → drain-under-fault → power restore → recover and classifies what the
-system ends up believing:
+system ends up believing (``recovered-exact`` / ``detected`` /
+``lost-unprotected`` / ``silent-corruption`` — see
+:mod:`repro.campaigns.classify` for the taxonomy; the matrix exists to keep
+the silent column empty).
 
-* **recovered-exact** — every line written before the crash reads back
-  bit-exact after recovery;
-* **detected** — recovery or the post-recovery read sweep raised a typed
-  error (:class:`IntegrityError` / :class:`RecoveryError`): the system
-  *knows* state was lost or tampered with;
-* **lost-unprotected** — data differs and the scheme has no integrity
-  machinery to notice (``nosec`` only; the paper's by-design non-goal);
-* **silent-corruption** — a scheme that claims protection returned wrong
-  data without raising.  Any such cell is a bug; the matrix exists to keep
-  this column empty.
-
-Fault positions are derived from a clean twin run of the same episode (the
-same seeds), so "the N//2-th write" lands mid-drain regardless of scheme or
-scale.
+The episode machinery (patterned fill, clean-twin profiling, effective-write
+fault targeting) and the classification path live in
+:mod:`repro.campaigns.engine` now — the crash matrix is the campaign grid's
+drain-stream fault column, restricted to the bare fill → drain episode
+(``runtime=False``: no replay epoch between fill and crash).  This module
+keeps the matrix-shaped API and re-exports the shared pieces so existing
+callers and the fault-matrix tests see identical names and byte-identical
+results.
 """
 
 from dataclasses import dataclass
 
-from repro.common.config import SystemConfig
-from repro.common.constants import CACHE_LINE_SIZE
-from repro.common.errors import IntegrityError, RecoveryError
-from repro.core.system import SecureEpdSystem
-from repro.faults.plan import (BitFlip, DroppedWrite, Fault, FaultPlan,
-                               PowerCut, TornWrite)
-
-FILL_SEED = 11
-DRAIN_SEED = 23
-
-RECOVERED = "recovered-exact"
-DETECTED = "detected"
-LOST_UNPROTECTED = "lost-unprotected"
-SILENT = "silent-corruption"
-
-SCHEME_VARIANTS: tuple[tuple[str, bool], ...] = (
-    ("nosec", False),
-    ("base-lu", False),
-    ("base-eu", False),
-    ("horus-slm", False),
-    ("horus-slm", True),
-    ("horus-dlm", False),
-    ("horus-dlm", True),
+from repro.campaigns.classify import (
+    DETECTED,
+    LOST_UNPROTECTED,
+    RECOVERED,
+    SILENT,
+    classify_outcome,
 )
-"""(scheme, rotate_vault) pairs the matrix sweeps."""
+from repro.campaigns.engine import (
+    DRAIN_SEED,
+    FILL_SEED,
+    TORN_PREFIX,
+    EpisodeProfile,
+    fault_plan_for,
+    fill_lines,
+    profile_episode,
+    run_fault_episode,
+)
+from repro.campaigns.scenarios import (
+    FAULT_CLASSES,
+    SCHEME_VARIANTS,
+    variant_name,
+)
+from repro.common.config import SystemConfig
 
-FAULT_CLASSES = ("power-cut", "torn-write", "dropped-write", "bit-flip")
+__all__ = [
+    "DETECTED",
+    "DRAIN_SEED",
+    "FAULT_CLASSES",
+    "FILL_SEED",
+    "LOST_UNPROTECTED",
+    "RECOVERED",
+    "SCHEME_VARIANTS",
+    "SILENT",
+    "TORN_PREFIX",
+    "EpisodeProfile",
+    "MatrixCell",
+    "classify_outcome",
+    "fault_plan_for",
+    "fill_lines",
+    "profile_episode",
+    "render_markdown",
+    "run_cell",
+    "run_matrix",
+    "variant_name",
+]
 
 
 @dataclass(frozen=True)
@@ -66,174 +81,14 @@ class MatrixCell:
         return self.outcome == SILENT
 
 
-def variant_name(scheme: str, rotate_vault: bool) -> str:
-    return f"{scheme}+rot" if rotate_vault else scheme
-
-
-def _build(config: SystemConfig, scheme: str,
-           rotate_vault: bool) -> SecureEpdSystem:
-    return SecureEpdSystem(config, scheme=scheme, rotate_vault=rotate_vault)
-
-
-def _pattern(address: int) -> bytes:
-    seed = (address * 2654435761) & 0xFFFFFFFF
-    return bytes((seed >> (8 * (i % 4))) & 0xFF ^ (i * 37) & 0xFF
-                 for i in range(CACHE_LINE_SIZE))
-
-
-def fill_lines(system: SecureEpdSystem, lines: int) -> dict[int, bytes]:
-    """Write ``lines`` patterned cache lines; returns the crash oracle.
-
-    The stride keeps the lines in distinct counter blocks so the episode
-    carries a realistic amount of metadata, and the count is chosen by
-    callers to span several CHV coalescing groups (including a partial one).
-    """
-    expected: dict[int, bytes] = {}
-    stride = CACHE_LINE_SIZE * 64
-    for i in range(lines):
-        address = i * stride
-        data = _pattern(address)
-        system.write(address, data)
-        expected[address] = data
-    return expected
-
-
-class _EffectProbe(Fault):
-    """Passive fault that records which writes actually change the medium.
-
-    A drain can rewrite a block with the bytes it already holds (e.g. an
-    in-place flush of a line an eviction persisted earlier); tearing or
-    dropping such a write is a physical no-op.  The probe's twin run tells
-    the matrix which write indices are *effective*, so every injected fault
-    is guaranteed to matter.
-    """
-
-    name = "probe"
-
-    def __init__(self, split: int):
-        self.split = split
-        self.changed: list[int] = []
-        self.tail_changed: list[int] = []
-
-    def apply(self, index, address, data, old):
-        if data != old:
-            self.changed.append(index)
-        if data[self.split:] != old[self.split:]:
-            self.tail_changed.append(index)
-        return data, False
-
-
-@dataclass(frozen=True)
-class EpisodeProfile:
-    """What the clean twin run of an episode looked like."""
-
-    total_writes: int
-    changed: tuple[int, ...]
-    """Write indices whose data differed from the medium's old content."""
-    tail_changed: tuple[int, ...]
-    """Write indices whose *second half* differed (a half-block tear of
-    these writes changes the persisted outcome)."""
-
-
-TORN_PREFIX = CACHE_LINE_SIZE // 2
-"""Bytes a torn write persists in the matrix (the first half-block)."""
-
-
-def profile_episode(config: SystemConfig, scheme: str, rotate_vault: bool,
-                    lines: int) -> EpisodeProfile:
-    """Run the clean twin episode and profile its NVM write stream."""
-    twin = _build(config, scheme, rotate_vault)
-    fill_lines(twin, lines)
-    probe = _EffectProbe(TORN_PREFIX)
-    twin.nvm.fault_plan = FaultPlan([probe])
-    twin.crash(seed=DRAIN_SEED)
-    plan = twin.nvm.restore_power()
-    return EpisodeProfile(plan.writes_seen, tuple(probe.changed),
-                          tuple(probe.tail_changed))
-
-
-def _nearest(indices: tuple[int, ...], target: int, label: str) -> int:
-    if not indices:
-        raise RecoveryError(f"episode has no {label} writes to fault")
-    return min(indices, key=lambda i: (abs(i - target), i))
-
-
-def fault_plan_for(fault: str, profile: EpisodeProfile) -> FaultPlan:
-    """A representative, guaranteed-effective mid-drain ``fault`` instance."""
-    mid = profile.total_writes // 2
-    if fault == "power-cut":
-        # Cut just before an effective write, so at least one write that
-        # mattered is lost along with the rest of the episode.
-        return FaultPlan([PowerCut(
-            after_writes=_nearest(profile.changed, mid, "effective"))])
-    if fault == "torn-write":
-        return FaultPlan([TornWrite(
-            at_write=_nearest(profile.tail_changed, mid, "tail-effective"),
-            persisted_bytes=TORN_PREFIX)])
-    if fault == "dropped-write":
-        return FaultPlan([DroppedWrite(
-            at_write=_nearest(profile.changed, mid, "effective"))])
-    if fault == "bit-flip":
-        return FaultPlan([BitFlip(
-            at_write=_nearest(profile.changed, mid, "effective"),
-            byte_offset=7, xor_mask=0x40)])
-    raise ValueError(f"unknown fault class {fault!r}")
-
-
-def classify_outcome(system: SecureEpdSystem,
-                     expected: dict[int, bytes]) -> tuple[str, str]:
-    """Recover and sweep; returns (outcome, detail).
-
-    The read sweep is a legitimate detection channel: Base-EU and nosec have
-    no recovery step, so whatever they notice, they notice at first use.
-    """
-    try:
-        system.recover()
-    except (IntegrityError, RecoveryError) as exc:
-        return DETECTED, f"recover: {type(exc).__name__}: {exc}"
-
-    mismatched: list[int] = []
-    for address in sorted(expected):
-        try:
-            actual = system.read(address)
-        except (IntegrityError, RecoveryError) as exc:
-            return DETECTED, (f"read {address:#x}: "
-                              f"{type(exc).__name__}: {exc}")
-        if actual != expected[address]:
-            mismatched.append(address)
-
-    if mismatched:
-        cells = ", ".join(f"{a:#x}" for a in mismatched[:4])
-        detail = f"{len(mismatched)} wrong lines (first: {cells})"
-        if system.scheme == "nosec":
-            return LOST_UNPROTECTED, detail
-        return SILENT, detail
-    return RECOVERED, "all lines bit-exact"
-
-
-def _run_faulted(config: SystemConfig, scheme: str, rotate_vault: bool,
-                 fault: str, lines: int,
-                 profile: EpisodeProfile) -> MatrixCell:
-    system = _build(config, scheme, rotate_vault)
-    expected = fill_lines(system, lines)
-    system.nvm.fault_plan = fault_plan_for(fault, profile)
-    system.crash(seed=DRAIN_SEED)
-    plan = system.nvm.restore_power()
-    if not plan.events:
-        raise RecoveryError(
-            f"fault {fault!r} never fired for "
-            f"{variant_name(scheme, rotate_vault)} "
-            f"({plan.writes_seen} writes seen)")
-    outcome, detail = classify_outcome(system, expected)
-    return MatrixCell(variant_name(scheme, rotate_vault), fault,
-                      outcome, detail)
-
-
 def run_cell(config: SystemConfig, scheme: str, rotate_vault: bool,
              fault: str, lines: int) -> MatrixCell:
     """One matrix cell: fill → drain under the fault → recover → classify."""
     profile = profile_episode(config, scheme, rotate_vault, lines)
-    return _run_faulted(config, scheme, rotate_vault, fault, lines, profile)
+    outcome, detail = run_fault_episode(config, scheme, rotate_vault,
+                                        fault, lines, profile)
+    return MatrixCell(variant_name(scheme, rotate_vault), fault,
+                      outcome, detail)
 
 
 def run_matrix(config: SystemConfig, lines: int = 48,
@@ -245,8 +100,10 @@ def run_matrix(config: SystemConfig, lines: int = 48,
     for scheme, rotate in variants:
         profile = profile_episode(config, scheme, rotate, lines)
         for fault in faults:
-            cells.append(_run_faulted(config, scheme, rotate, fault,
-                                      lines, profile))
+            outcome, detail = run_fault_episode(config, scheme, rotate,
+                                                fault, lines, profile)
+            cells.append(MatrixCell(variant_name(scheme, rotate), fault,
+                                    outcome, detail))
     return cells
 
 

@@ -17,10 +17,25 @@ persistence-boundary attacks — the disagreement between a controller's view
 and the medium's view is exactly where NVM systems break).
 """
 
+from collections.abc import Callable
 from dataclasses import dataclass, field
 
 from repro.common.constants import CACHE_LINE_SIZE
-from repro.common.errors import ConfigError
+from repro.common.errors import ConfigError, ReproError
+
+
+class PowerInterrupt(ReproError):
+    """Power died at an injected point *outside* the NVM write stream.
+
+    :class:`PowerCut` models the hold-up source dying mid-drain, where the
+    write stream itself defines time.  During *recovery* there is no write
+    stream to budget, so a nested power cut is modelled as this exception
+    raised from a recovery step hook (see
+    :attr:`~repro.core.recovery.HorusRecovery.step_hook`); the campaign
+    engine catches it, drops the volatile state again, and re-runs recovery
+    — DC/eDC and the shadow count are persistent registers, so re-recovery
+    must be idempotent.
+    """
 
 
 @dataclass(frozen=True)
@@ -31,8 +46,9 @@ class FaultEvent:
     address: int
     fault: str
     effect: str
-    """``"lost"`` (nothing persisted) or ``"corrupted"`` (mutated bytes
-    persisted)."""
+    """``"lost"`` (nothing persisted), ``"corrupted"`` (mutated bytes
+    persisted), or ``"attacked"`` (the write persisted untouched but an
+    adversary action ran against the medium)."""
 
 
 class Fault:
@@ -45,6 +61,8 @@ class Fault:
     """
 
     name = "fault"
+    effect_label = "corrupted"
+    """Event label when the fault fires but the write still persists."""
 
     def apply(self, index: int, address: int, data: bytes,
               old: bytes) -> tuple[bytes | None, bool]:
@@ -163,6 +181,38 @@ class BitFlip(Fault):
         return FaultEvent(-1, self.address, self.name, "corrupted")
 
 
+@dataclass
+class AdversaryAt(Fault):
+    """Run an adversary action concurrently with the ``at_write``-th write.
+
+    The write itself persists untouched — the fault is a *timing hook*, not
+    a filter: the campaign engine uses it to land a tamper/spoof/splice/
+    replay/rollback on already-persisted blocks at a precise point of the
+    drain's write stream (the mid-drain injection window), with the target
+    index taken from a clean twin run exactly like the crash matrix's fault
+    positions.  What the action did to the medium is the adversary's
+    business (and the backend's ``attacked_blocks`` ledger records it);
+    the plan's event records *when* it happened.
+    """
+
+    at_write: int
+    action: Callable[[], None]
+    name: str = field(default="adversary", init=False)
+    effect_label: str = field(default="attacked", init=False)
+    _fired: bool = field(default=False, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.at_write < 0:
+            raise ConfigError("adversary write index cannot be negative")
+
+    def apply(self, index, address, data, old):
+        if self._fired or index != self.at_write:
+            return data, False
+        self._fired = True
+        self.action()
+        return data, True
+
+
 class FaultPlan:
     """A set of faults applied, in order, to every write of an episode.
 
@@ -192,7 +242,8 @@ class FaultPlan:
         for fault in self._faults:
             persisted, fired = fault.apply(index, address, persisted, old)
             if fired:
-                effect = "lost" if persisted is None else "corrupted"
+                effect = ("lost" if persisted is None
+                          else fault.effect_label)
                 self.events.append(
                     FaultEvent(index, address, fault.name, effect))
             if persisted is None:

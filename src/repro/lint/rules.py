@@ -28,6 +28,7 @@ SIM_PACKAGES = (
     "repro.epd",
     "repro.cache",
     "repro.faults",
+    "repro.campaigns",
 )
 """The deterministic simulator core: every observable these packages produce
 must be a pure function of (config, seeds, code version)."""
@@ -312,6 +313,7 @@ class StatsAccountingRule(Rule):
         "repro.crypto",
         "repro.faults",
         "repro.pmlib",
+        "repro.campaigns",
     )
 
     RAW_IO = frozenset({

@@ -23,6 +23,7 @@ class SparseMemory:
                 f"of {CACHE_LINE_SIZE}")
         self._size = size
         self._blocks: dict[int, bytes] = {}
+        self._attacked: set[int] = set()
 
     @property
     def size(self) -> int:
@@ -105,8 +106,21 @@ class SparseMemory:
         return address // CACHE_LINE_SIZE in self._blocks
 
     def corrupt_block(self, address: int, data: bytes) -> None:
-        """Adversary hook: overwrite a block without any simulator accounting."""
+        """Adversary hook: overwrite a block without any simulator accounting.
+
+        The block is remembered in :attr:`attacked_blocks` — not simulator
+        accounting (the controller never saw the access, and no stats/wear/
+        trace entry is made) but the *oracle's* ledger, so outcome
+        classification can tell an attacked block apart from a write a fault
+        plan lost in flight (:attr:`~repro.mem.nvm.NvmDevice.lost_writes`).
+        """
         self.write_block(address, data)
+        self._attacked.add(address)
+
+    @property
+    def attacked_blocks(self) -> frozenset:
+        """Addresses the adversary ever rewrote via :meth:`corrupt_block`."""
+        return frozenset(self._attacked)
 
     def written_addresses(self):
         """All block addresses that were ever explicitly written, ascending."""
@@ -124,3 +138,4 @@ class SparseMemory:
     def clear(self) -> None:
         """Drop all content (fresh memory)."""
         self._blocks.clear()
+        self._attacked.clear()

@@ -40,6 +40,14 @@ class NvmDevice:
         """(address, kind) of every write a fault plan lost in flight."""
 
     @property
+    def attacked_blocks(self) -> frozenset:
+        """Addresses the adversary rewrote behind the controller's back
+        (:meth:`~repro.mem.backend.SparseMemory.corrupt_block` ledger).
+        Disjoint from :attr:`lost_writes` by construction: an attack is a
+        write the controller never issued, a lost write is one it did."""
+        return self._backend.attacked_blocks
+
+    @property
     def size(self) -> int:
         return self._backend.size
 

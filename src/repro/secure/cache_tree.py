@@ -20,6 +20,13 @@ class ShadowRecovery:
 
     def __init__(self, controller):
         self._controller = controller
+        self.step_hook = None
+        """Optional callback ``step_hook(position)`` invoked before each
+        restored line (after the whole dump verified).  The campaign engine
+        uses it to model a nested power cut
+        (:class:`~repro.faults.plan.PowerInterrupt`) mid-restore; the
+        shadow count is only cleared once every line is back, so an
+        interrupted restore re-runs from the persistent dump."""
 
     def recover(self) -> int:
         """Read, verify, and restore the dump; returns lines restored."""
@@ -60,7 +67,10 @@ class ShadowRecovery:
                 raise IntegrityError(
                     "metadata-cache shadow image failed verification")
 
-        for address, content in zip(addresses, contents):
+        for position, (address, content) in enumerate(zip(addresses,
+                                                          contents)):
+            if self.step_hook is not None:
+                self.step_hook(position)
             if len(content) != CACHE_LINE_SIZE:
                 raise RecoveryError("short shadow block")
             controller.restore_metadata_line(address, content)

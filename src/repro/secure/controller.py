@@ -86,6 +86,15 @@ class SecureMemoryController:
         self._victims: "OrderedDict[int, tuple[MetaLine, str]]" = OrderedDict()
         self._draining_victims = False
 
+        self.op_hook = None
+        """Optional observer called as ``op_hook(kind, address)`` (kind
+        ``"w"``/``"r"``) at the top of every public data-path operation,
+        *before* any metadata or NVM access.  The campaign engine uses it to
+        inject adversary actions at a precise memory-side op boundary
+        without bypassing any accounting — the hook only observes; the op
+        then runs normally.  While set, :meth:`run_ops_batch` falls back to
+        the scalar path so the hook sees every op at its true position."""
+
     # ------------------------------------------------------------------
     # Public data path
     # ------------------------------------------------------------------
@@ -97,6 +106,8 @@ class SecureMemoryController:
         a baseline secure drain.
         """
         self.layout.require_data_address(address)
+        if self.op_hook is not None:
+            self.op_hook("w", address)
         counter_line = self.get_counter_line(address)
         block: SplitCounterBlock = counter_line.value
         slot = self.layout.counter_slot(address)
@@ -120,6 +131,8 @@ class SecureMemoryController:
     def read(self, address: int) -> bytes:
         """Fetch, verify, and decrypt one 64 B data block."""
         self.layout.require_data_address(address)
+        if self.op_hook is not None:
+            self.op_hook("r", address)
         ciphertext = self.nvm.read(address, ReadKind.DATA)
         if not self.nvm.backend.is_written(address):
             # Never-written memory decrypts to zeros by convention (boot-time
@@ -200,7 +213,7 @@ class SecureMemoryController:
         nvm = self.nvm
         if (not self.batched or not self.functional
                 or nvm.trace is not None or nvm.fault_plan is not None
-                or nvm.wear is not None
+                or nvm.wear is not None or self.op_hook is not None
                 or any(data is None
                        for kind, _, data in ops if kind == "w")):
             return self.run_ops(ops)

@@ -123,3 +123,30 @@ HORUS_WRITE_KINDS = (
     WriteKind.CHV_METADATA,
 )
 """Write kinds a Horus drain can produce."""
+
+
+@unique
+class CellOutcome(Enum):
+    """How one adversarial-campaign (or crash-matrix) cell ended.
+
+    The campaign engine and the crash matrix classify every episode into
+    exactly one of these; :data:`CellOutcome.SILENT` existing in any result
+    set is, by the threat model, a bug in a scheme that claims protection.
+    """
+
+    __hash__ = object.__hash__  # identity hashing, see ReadKind
+
+    RECOVERED = "recovered-exact"
+    """Every line written before the crash read back bit-exact."""
+
+    DETECTED = "detected"
+    """Recovery or the read sweep raised a typed integrity/recovery error."""
+
+    LOST_UNPROTECTED = "lost-unprotected"
+    """Data differs and the scheme has no integrity machinery (nosec only)."""
+
+    SILENT = "silent-corruption"
+    """A scheme that claims protection returned wrong data without raising."""
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value

@@ -58,3 +58,73 @@ class TestAdversaryOperations:
         adversary.splice(0, 64)
         adversary.spoof(0, bytes(64))
         assert nvm.stats.total_memory_requests == 0
+
+
+class TestMarkRollback:
+    def test_mark_returns_current_content(self, nvm):
+        assert Adversary(nvm).mark(0) == b"\x10" * 64
+
+    def test_rollback_restores_marked_content(self, nvm):
+        adversary = Adversary(nvm)
+        adversary.mark(0)
+        nvm.poke(0, b"\x99" * 64)
+        displaced = adversary.rollback(0)
+        assert displaced == b"\x99" * 64
+        assert nvm.peek(0) == b"\x10" * 64
+
+    def test_rollback_without_mark_raises(self, nvm):
+        with pytest.raises(AddressError):
+            Adversary(nvm).rollback(0)
+
+    def test_rollback_is_per_address(self, nvm):
+        adversary = Adversary(nvm)
+        adversary.mark(0)
+        with pytest.raises(AddressError):
+            adversary.rollback(64)
+
+    def test_remark_updates_the_rollback_point(self, nvm):
+        adversary = Adversary(nvm)
+        adversary.mark(0)
+        nvm.poke(0, b"\x55" * 64)
+        adversary.mark(0)
+        nvm.poke(0, b"\x66" * 64)
+        adversary.rollback(0)
+        assert nvm.peek(0) == b"\x55" * 64
+
+
+class TestAttackedLedger:
+    """corrupt_block bypasses accounting by design; the attacked_blocks
+    ledger is the *oracle's* record of it, so classification can tell an
+    attacked block from a write a fault plan lost in flight."""
+
+    def test_mutating_attacks_are_ledgered(self, nvm):
+        adversary = Adversary(nvm)
+        adversary.tamper(0)
+        adversary.spoof(64, bytes(64))
+        assert nvm.attacked_blocks == {0, 64}
+
+    def test_splice_ledgers_both_blocks(self, nvm):
+        Adversary(nvm).splice(0, 64)
+        assert nvm.attacked_blocks == {0, 64}
+
+    def test_replay_and_rollback_are_ledgered(self, nvm):
+        adversary = Adversary(nvm)
+        snapshot = adversary.snapshot(0)
+        adversary.mark(64)
+        adversary.replay(0, snapshot)
+        adversary.rollback(64)
+        assert nvm.attacked_blocks == {0, 64}
+
+    def test_passive_observation_is_not_ledgered(self, nvm):
+        adversary = Adversary(nvm)
+        adversary.observe(0)
+        adversary.snapshot(64)
+        adversary.mark(0)
+        assert nvm.attacked_blocks == frozenset()
+
+    def test_ledger_is_disjoint_from_lost_writes(self, nvm):
+        # An attack is a write the controller never issued; a lost write is
+        # one it did.  The ledger never claims simulator accounting.
+        Adversary(nvm).tamper(0)
+        assert nvm.lost_writes == []
+        assert nvm.stats.total_memory_requests == 0

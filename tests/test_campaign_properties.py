@@ -1,0 +1,176 @@
+"""The corruption axiom, property-style: arbitrary tampering is never silent.
+
+The verified-storage shape of the claim: for *any* written NVM block — data
+payload, MAC, counter, tree node, CHV slot, or shadow-dump line — and *any*
+single-byte corruption (offset × xor mask), a secure scheme's recovery
+either restores every line bit-exact or raises a typed
+``IntegrityError``/``RecoveryError``.  Wrong bytes without an exception
+(``silent-corruption``) must be unreachable for every input, not just the
+crash matrix's curated cells.
+
+Example budgets follow the ci/nightly profiles from ``tests/conftest.py``.
+"""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.attacks.adversary import Adversary
+from repro.campaigns.classify import (
+    DETECTED,
+    LOST_UNPROTECTED,
+    RECOVERED,
+    SILENT,
+    run_recovery_and_sweep,
+)
+from repro.campaigns.engine import DRAIN_SEED, fill_lines
+from repro.core.chv import MAC_GROUP_DLM, MAC_GROUP_SLM, ChvLayout, VaultRotation
+from repro.core.system import SecureEpdSystem
+
+from tests.conftest import examples
+
+LINES = 12
+
+SECURE_VARIANTS = (
+    ("base-lu", False),
+    ("base-eu", False),
+    ("horus-slm", False),
+    ("horus-slm", True),
+    ("horus-dlm", False),
+    ("horus-dlm", True),
+)
+
+HORUS_VARIANTS = tuple(v for v in SECURE_VARIANTS
+                       if v[0].startswith("horus"))
+
+REGION_NAMES = ("data", "counters", "macs", "tree", "chv", "shadow")
+
+
+def _crashed_system(config, scheme, rotate):
+    system = SecureEpdSystem(config, scheme=scheme, rotate_vault=rotate)
+    expected = fill_lines(system, LINES)
+    system.crash(seed=DRAIN_SEED)
+    system.nvm.restore_power()
+    return system, expected
+
+
+def _written_blocks(system):
+    return sorted(system.nvm.backend.written_addresses())
+
+
+class TestArbitraryCorruptionNeverSilent:
+    @given(data=st.data())
+    @settings(max_examples=examples(60))
+    def test_any_written_block_any_byte_any_mask(self, tiny_config, data):
+        scheme, rotate = data.draw(st.sampled_from(SECURE_VARIANTS))
+        system, expected = _crashed_system(tiny_config, scheme, rotate)
+        written = _written_blocks(system)
+        assume(written)
+        address = data.draw(st.sampled_from(written))
+        offset = data.draw(st.integers(min_value=0, max_value=63))
+        mask = data.draw(st.integers(min_value=1, max_value=255))
+        Adversary(system.nvm).tamper(address, byte_offset=offset,
+                                     xor_mask=mask)
+        outcome, detail = run_recovery_and_sweep(system, expected)
+        assert outcome != SILENT, (scheme, rotate, hex(address), offset,
+                                   mask, detail)
+        assert outcome in (RECOVERED, DETECTED)
+
+    @given(data=st.data())
+    @settings(max_examples=examples(40))
+    def test_kind_targeted_corruption(self, tiny_config, data):
+        """Aim at a specific block kind (the issue's {payload, MAC,
+        counter, CHV, shadow} axiom) rather than any written block."""
+        scheme, rotate = data.draw(st.sampled_from(SECURE_VARIANTS))
+        region_name = data.draw(st.sampled_from(REGION_NAMES))
+        system, expected = _crashed_system(tiny_config, scheme, rotate)
+        region = next(r for r in system.layout.regions
+                      if r.name == region_name)
+        targets = [a for a in _written_blocks(system) if region.contains(a)]
+        assume(targets)
+        address = data.draw(st.sampled_from(targets))
+        offset = data.draw(st.integers(min_value=0, max_value=63))
+        mask = data.draw(st.integers(min_value=1, max_value=255))
+        Adversary(system.nvm).tamper(address, byte_offset=offset,
+                                     xor_mask=mask)
+        outcome, detail = run_recovery_and_sweep(system, expected)
+        assert outcome in (RECOVERED, DETECTED), (
+            scheme, rotate, region_name, hex(address), offset, mask, detail)
+
+    @given(data=st.data())
+    @settings(max_examples=examples(30))
+    def test_splice_of_written_blocks_never_silent(self, tiny_config, data):
+        scheme, rotate = data.draw(st.sampled_from(SECURE_VARIANTS))
+        system, expected = _crashed_system(tiny_config, scheme, rotate)
+        written = _written_blocks(system)
+        assume(len(written) >= 2)
+        first = data.draw(st.sampled_from(written))
+        second = data.draw(st.sampled_from(
+            [a for a in written if a != first]))
+        Adversary(system.nvm).splice(first, second)
+        outcome, detail = run_recovery_and_sweep(system, expected)
+        assert outcome in (RECOVERED, DETECTED), (
+            scheme, rotate, hex(first), hex(second), detail)
+
+
+class TestChvCorruptionAlwaysDetected:
+    """Stronger than never-silent: every *live* vault slot is read and
+    verified by recovery, so corrupting one must always be DETECTED."""
+
+    @given(data=st.data())
+    @settings(max_examples=examples(40))
+    def test_any_live_vault_slot_any_byte(self, tiny_config, data):
+        scheme, rotate = data.draw(st.sampled_from(HORUS_VARIANTS))
+        system, expected = _crashed_system(tiny_config, scheme, rotate)
+        dc = system.drain_counter
+        assume(dc is not None and dc.ephemeral > 0)
+        position = data.draw(st.integers(min_value=0,
+                                         max_value=dc.ephemeral - 1))
+        offset = data.draw(st.integers(min_value=0, max_value=63))
+        mask = data.draw(st.integers(min_value=1, max_value=255))
+        chv = ChvLayout.for_layout(system.layout)
+        group = (MAC_GROUP_DLM if scheme == "horus-dlm"
+                 else MAC_GROUP_SLM)
+        rotation = VaultRotation.for_episode(
+            chv, dc.value - dc.ephemeral, rotate, group_align=group)
+        address = chv.data_address(rotation.data_slot(position))
+        Adversary(system.nvm).tamper(address, byte_offset=offset,
+                                     xor_mask=mask)
+        outcome, detail = run_recovery_and_sweep(system, expected)
+        assert outcome == DETECTED, (scheme, rotate, position, offset,
+                                     mask, detail)
+        assert detail.startswith("recover:")
+
+
+class TestNosecIsLostNotSilent:
+    """nosec has no integrity machinery: attacks land, but classification
+    must call that ``lost-unprotected`` — SILENT is reserved for schemes
+    that *claim* protection."""
+
+    @given(data=st.data())
+    @settings(max_examples=examples(30))
+    def test_nosec_data_corruption_is_lost_unprotected(self, tiny_config,
+                                                       data):
+        system, expected = _crashed_system(tiny_config, "nosec", False)
+        victims = [a for a in _written_blocks(system) if a in expected]
+        assume(victims)
+        address = data.draw(st.sampled_from(victims))
+        offset = data.draw(st.integers(min_value=0, max_value=63))
+        mask = data.draw(st.integers(min_value=1, max_value=255))
+        Adversary(system.nvm).tamper(address, byte_offset=offset,
+                                     xor_mask=mask)
+        outcome, detail = run_recovery_and_sweep(system, expected)
+        assert outcome == LOST_UNPROTECTED
+        # The attacked-blocks ledger splits forensics in the detail line.
+        assert "attacked" in detail
+
+    @given(data=st.data())
+    @settings(max_examples=examples(20))
+    def test_nosec_never_classifies_as_silent(self, tiny_config, data):
+        system, expected = _crashed_system(tiny_config, "nosec", False)
+        written = _written_blocks(system)
+        assume(written)
+        address = data.draw(st.sampled_from(written))
+        mask = data.draw(st.integers(min_value=1, max_value=255))
+        Adversary(system.nvm).tamper(address, xor_mask=mask)
+        outcome, _detail = run_recovery_and_sweep(system, expected)
+        assert outcome in (RECOVERED, LOST_UNPROTECTED)

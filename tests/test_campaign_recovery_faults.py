@@ -1,0 +1,172 @@
+"""Recovery-phase fault hooks: nested power cuts at every recovery step.
+
+PR 2's sweep proved a Horus drain survives a power cut after *every* NVM
+write index.  This is the recovery-side mirror: power fails again at every
+step of the restore itself (every vault position for Horus, every shadow
+line for Base-LU), and re-recovery from the persistent registers must be
+idempotent — same bit-exact state, no double restore, no lost lines.
+"""
+
+import pytest
+
+from repro.campaigns.engine import DRAIN_SEED, fill_lines
+from repro.common.errors import DrainStateError, ReproError
+from repro.core.system import SecureEpdSystem
+from repro.faults.plan import PowerInterrupt
+
+SWEEP_LINES = 10
+
+HORUS_VARIANTS = (
+    ("horus-slm", False),
+    ("horus-slm", True),
+    ("horus-dlm", False),
+    ("horus-dlm", True),
+)
+
+
+def _crashed_episode(config, scheme, rotate_vault):
+    system = SecureEpdSystem(config, scheme=scheme,
+                             rotate_vault=rotate_vault)
+    expected = fill_lines(system, SWEEP_LINES)
+    system.crash(seed=DRAIN_SEED)
+    system.nvm.restore_power()
+    return system, expected
+
+
+def _recovery_steps(config, scheme, rotate_vault):
+    """How many step-hook firings a full recovery of this episode makes."""
+    system, _ = _crashed_episode(config, scheme, rotate_vault)
+    engine = system.recovery_engine
+    positions = []
+    engine.step_hook = positions.append
+    system.recover()
+    engine.step_hook = None
+    return positions
+
+
+def _interrupt_at(system, step):
+    """Drive recovery into a nested power cut at ``step``, then re-recover."""
+    engine = system.recovery_engine
+    fired = []
+
+    def hook(position):
+        if position == step and not fired:
+            fired.append(position)
+            raise PowerInterrupt(f"nested cut at step {position}")
+
+    engine.step_hook = hook
+    try:
+        with pytest.raises(PowerInterrupt):
+            system.recover()
+    finally:
+        engine.step_hook = None
+    assert fired == [step]
+    system.power_cycle()
+    return system.recover()
+
+
+class TestNestedCutSweepHorus:
+    @pytest.mark.parametrize("scheme,rotate", HORUS_VARIANTS,
+                             ids=lambda v: str(v))
+    def test_every_recovery_step_survives_a_nested_cut(
+            self, tiny_config, scheme, rotate):
+        positions = _recovery_steps(tiny_config, scheme, rotate)
+        # The hook fires once per vault position, in order.
+        assert positions == list(range(len(positions)))
+        assert len(positions) >= SWEEP_LINES
+        for step in positions:
+            system, expected = _crashed_episode(tiny_config, scheme, rotate)
+            report = _interrupt_at(system, step)
+            assert report is not None
+            for address, data in expected.items():
+                assert system.read(address) == data, (
+                    f"{scheme} rot={rotate}: wrong bytes at {address:#x} "
+                    f"after nested cut at recovery step {step}")
+
+    def test_drain_counter_cleared_exactly_once(self, tiny_config):
+        system, _ = _crashed_episode(tiny_config, "horus-slm", False)
+        steps = system.drain_counter.ephemeral
+        assert steps > 0
+        _interrupt_at(system, steps // 2)
+        # Re-recovery consumed the episode: eDC back to zero, DC persists.
+        assert system.drain_counter.ephemeral == 0
+        assert system.drain_counter.value >= steps
+
+
+class TestNestedCutSweepShadow:
+    def test_every_shadow_restore_step_survives_a_nested_cut(
+            self, tiny_config):
+        positions = _recovery_steps(tiny_config, "base-lu", False)
+        assert positions == list(range(len(positions)))
+        assert positions
+        for step in positions:
+            system, expected = _crashed_episode(tiny_config, "base-lu",
+                                                False)
+            report = _interrupt_at(system, step)
+            assert report is not None
+            for address, data in expected.items():
+                assert system.read(address) == data, (
+                    f"base-lu: wrong bytes at {address:#x} after nested "
+                    f"cut at shadow restore step {step}")
+
+    def test_shadow_count_survives_an_interrupted_restore(self, tiny_config):
+        system, _ = _crashed_episode(tiny_config, "base-lu", False)
+        count = system.controller.shadow_count
+        assert count > 0
+        _interrupt_at(system, 0)
+        # The dump is only retired once the restore completes.
+        assert system.controller.shadow_count == 0
+
+
+class TestHookMechanics:
+    def test_step_hook_forces_scalar_recovery(self, tiny_config):
+        # The batched recovery path cannot honor per-position hooks; with a
+        # hook installed every position must be a distinct step.
+        system, expected = _crashed_episode(tiny_config, "horus-dlm", False)
+        engine = system.recovery_engine
+        positions = []
+        engine.step_hook = positions.append
+        system.recover()
+        engine.step_hook = None
+        assert len(positions) == len(set(positions))
+        for address, data in expected.items():
+            assert system.read(address) == data
+
+    def test_power_interrupt_is_a_typed_repro_error(self):
+        assert issubclass(PowerInterrupt, ReproError)
+
+    def test_power_cycle_requires_a_crash(self, tiny_config):
+        system = SecureEpdSystem(tiny_config, scheme="horus-slm")
+        with pytest.raises(DrainStateError):
+            system.power_cycle()
+
+    def test_power_cycle_drops_restored_volatile_state(self, tiny_config):
+        system, expected = _crashed_episode(tiny_config, "horus-slm", False)
+        system.recover()
+        # Refill-mode recovery placed the vaulted lines back dirty; a
+        # nested power cut makes them vanish again.
+        assert system.hierarchy.dirty_line_count() > 0
+        system.power_cycle()
+        assert system.hierarchy.dirty_line_count() == 0
+
+    def test_repeated_nested_cuts_converge(self, tiny_config):
+        # Power can fail during re-recovery too: two nested cuts in a row
+        # still end in a bit-exact restore.
+        system, expected = _crashed_episode(tiny_config, "horus-dlm", True)
+        engine = system.recovery_engine
+        for step in (2, 1):
+            fired = []
+
+            def hook(position, step=step, fired=fired):
+                if position == step and not fired:
+                    fired.append(position)
+                    raise PowerInterrupt(f"cut at {position}")
+
+            engine.step_hook = hook
+            with pytest.raises(PowerInterrupt):
+                system.recover()
+            engine.step_hook = None
+            system.power_cycle()
+        system.recover()
+        for address, data in expected.items():
+            assert system.read(address) == data

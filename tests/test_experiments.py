@@ -91,7 +91,8 @@ class TestRunner:
                     "ablation-coalescing", "ablation-adr-vs-epd",
                     "ablation-wear", "ablation-parallelism",
                     "ablation-runtime", "ablation-availability",
-                    "ablation-scheduler", "ablation-faults", "headline"}
+                    "ablation-scheduler", "ablation-faults",
+                    "ablation-campaigns", "headline"}
         assert expected <= set(EXPERIMENTS)
 
     def test_run_experiments_subset(self):

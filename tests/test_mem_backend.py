@@ -68,3 +68,25 @@ class TestAdversarialAndClear:
         memory.clear()
         assert memory.read_block(0) == bytes(64)
         assert memory.touched_blocks == 0
+
+
+class TestAttackedLedger:
+    def test_corrupt_block_is_ledgered(self, memory):
+        memory.corrupt_block(0, b"\xff" * 64)
+        assert memory.attacked_blocks == {0}
+
+    def test_regular_writes_are_not_ledgered(self, memory):
+        memory.write_block(0, b"\x01" * 64)
+        assert memory.attacked_blocks == frozenset()
+
+    def test_ledger_is_a_frozen_snapshot(self, memory):
+        memory.corrupt_block(0, b"\xff" * 64)
+        before = memory.attacked_blocks
+        memory.corrupt_block(64, b"\xee" * 64)
+        assert before == {0}
+        assert memory.attacked_blocks == {0, 64}
+
+    def test_clear_drops_the_ledger(self, memory):
+        memory.corrupt_block(0, b"\xff" * 64)
+        memory.clear()
+        assert memory.attacked_blocks == frozenset()
