@@ -43,8 +43,24 @@ def compare(baseline: dict, current: dict,
             missing = "baseline" if base is None else "current"
             lines.append(f"SKIP {name}: missing from the {missing} run")
             continue
+        if base["kind"] != cur["kind"]:
+            # A metric that silently changed kind would be compared on the
+            # wrong field (and in the wrong direction); that is a gate
+            # failure, not something to paper over.
+            lines.append(f"FAIL {name}: kind changed "
+                         f"{base['kind']!r} -> {cur['kind']!r}")
+            failures.append(f"{name} changed kind from {base['kind']!r} to "
+                            f"{cur['kind']!r}; regenerate the baseline")
+            continue
         if cur["kind"] == "ratio":
             base_v, cur_v = base["value"], cur["value"]
+            if base_v == 0:
+                lines.append(f"FAIL {name}: baseline ratio is 0x "
+                             f"(current {cur_v:.2f}x)")
+                failures.append(
+                    f"{name} baseline ratio is 0; the baseline is "
+                    f"malformed — regenerate it")
+                continue
             change = (cur_v - base_v) / base_v
             verdict = "FAIL" if change < -threshold else "ok"
             lines.append(f"{verdict:4} {name}: {base_v:.2f}x -> {cur_v:.2f}x "
@@ -55,6 +71,13 @@ def compare(baseline: dict, current: dict,
                     f"(limit {threshold:.0%})")
         else:
             base_v, cur_v = base["normalized"], cur["normalized"]
+            if base_v == 0:
+                lines.append(f"FAIL {name}: baseline normalized time is 0 "
+                             f"(current {cur_v:.3f})")
+                failures.append(
+                    f"{name} baseline normalized time is 0; the baseline "
+                    f"is malformed — regenerate it")
+                continue
             change = (cur_v - base_v) / base_v
             verdict = "FAIL" if change > threshold else "ok"
             lines.append(f"{verdict:4} {name}: normalized {base_v:.3f} -> "

@@ -148,6 +148,26 @@ def _fill_walls(scheme: str, config: SystemConfig) -> tuple[float, float]:
     return best[False], best[True]
 
 
+def _paper_fill_walls(scheme: str) -> tuple[float, float, int]:
+    """(scalar, batched, lines) wall seconds of ``fill_worst_case`` at the
+    paper's full Table I geometry (295,936 LLC lines).
+
+    Seconds-long per round, so two interleaved rounds bound the runtime
+    while keeping the min/min ratio honest against background load.
+    """
+    config = SystemConfig.paper()
+    best = {False: float("inf"), True: float("inf")}
+    lines = 0
+    for _ in range(2):
+        for batched in (False, True):
+            system = SecureEpdSystem(config, scheme=scheme, batched=batched)
+            start = time.perf_counter()
+            lines = system.fill_worst_case(seed=1)
+            best[batched] = min(best[batched],
+                                time.perf_counter() - start)
+    return best[False], best[True], lines
+
+
 def _fig14_wall() -> float:
     from repro.experiments.fig14_15_llc_sweep import run_fig14
     from repro.experiments.suite import DrainSuite
@@ -195,6 +215,16 @@ def run_benchmarks() -> dict:
     }
     metrics["fill:horus-dlm:speedup"] = {
         "kind": "ratio", "value": scalar_fill / batched_fill,
+    }
+
+    paper_scalar, paper_batched, paper_lines = _paper_fill_walls("horus-dlm")
+    metrics["fill:horus-dlm:paper-batched"] = {
+        "kind": "time", "seconds": paper_batched,
+        "normalized": paper_batched / calibration,
+        "lines_per_second": paper_lines / paper_batched,
+    }
+    metrics["fill:horus-dlm:paper-speedup"] = {
+        "kind": "ratio", "value": paper_scalar / paper_batched,
     }
 
     recovery_s = _recovery_wall("horus-dlm", True, config)

@@ -41,17 +41,22 @@ def _drain_seconds(scheme: str, batched: bool, rounds: int = 5) -> float:
     return best
 
 
+DRAIN_SPEEDUP_FLOOR = 2.25
+
+
 @pytest.mark.parametrize("scheme", ["horus-slm", "horus-dlm"])
 def test_batched_drain_speedup(scheme):
-    """The batched drain path is >=2x faster than scalar at LLC scale.
+    """The batched drain path is >=2.25x faster than scalar at LLC scale.
 
     Best-of-5 on both sides makes the ratio robust to background load:
     both paths run the same episode on the same machine, so machine speed
-    cancels out of the comparison.
+    cancels out of the comparison.  The floor sits below the measured
+    speedups with the arena substrate (3.0x dlm / 2.7x slm) by a noise
+    margin; raise it only when the measured ratios move.
     """
     scalar = _drain_seconds(scheme, batched=False)
     batched = _drain_seconds(scheme, batched=True)
     speedup = scalar / batched
-    assert speedup >= 2.0, (
+    assert speedup >= DRAIN_SPEEDUP_FLOOR, (
         f"{scheme}: batched drain only {speedup:.2f}x faster than scalar "
         f"(scalar {scalar * 1e3:.1f} ms, batched {batched * 1e3:.1f} ms)")

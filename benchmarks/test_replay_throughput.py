@@ -2,9 +2,14 @@
 
 The acceptance gate for the batched runtime engine: replaying a 100k-op
 YCSB-A trace (working set twice the LLC) on horus-dlm at 1/128 scale must
-be at least 2x faster epoch-batched than scalar — while producing a
+be at least 2.5x faster epoch-batched than scalar — while producing a
 byte-identical NVM image and identical SimStats counters, cache hit rates,
 and access mix.
+
+The floor is the noise-safe edge of the measured speedup (3.1x with the
+arena-backed crypto/memory substrate; interleaved min/min wobbles by
+roughly 15% between runs on a loaded machine).  Raise it when the measured
+ratio moves, never ahead of it.
 
 Scalar and batched rounds are interleaved (each round times both back to
 back) and compared min/min, so transient background load lands on both
@@ -20,6 +25,7 @@ from benchmarks.bench_runner import REPLAY_ROUNDS, replay_trace
 
 CONFIG = SystemConfig.scaled(128)
 SCHEME = "horus-dlm"
+REPLAY_SPEEDUP_FLOOR = 2.5
 
 
 def _observe(system: SecureEpdSystem) -> dict:
@@ -33,7 +39,7 @@ def _observe(system: SecureEpdSystem) -> dict:
     }
 
 
-def test_batched_replay_is_2x_and_byte_identical():
+def test_batched_replay_speedup_and_byte_identity():
     trace = replay_trace(CONFIG)
     walls = {False: float("inf"), True: float("inf")}
     observed = {}
@@ -53,7 +59,7 @@ def test_batched_replay_is_2x_and_byte_identical():
     assert observed[True][0] == observed[False][0]
 
     speedup = walls[False] / walls[True]
-    assert speedup >= 2.0, (
+    assert speedup >= REPLAY_SPEEDUP_FLOOR, (
         f"{SCHEME}: batched replay only {speedup:.2f}x faster than scalar "
         f"(scalar {walls[False] * 1e3:.0f} ms, "
         f"batched {walls[True] * 1e3:.0f} ms)")

@@ -1,11 +1,14 @@
 """Set-associative cache with true-LRU replacement.
 
 Used for the three data-cache levels and (via
-:mod:`repro.metadata.cache`) for the three security-metadata caches.  Sets are
-``OrderedDict`` instances, giving O(1) lookup and LRU maintenance.
+:mod:`repro.metadata.cache`) for the three security-metadata caches.  Sets
+are plain insertion-ordered ``dict`` instances: LRU->MRU is insertion
+order, an LRU touch is a pop-and-reinsert, and the eviction victim is
+``next(iter(set))``.  Same semantics as an ``OrderedDict`` with
+``move_to_end``/``popitem(last=False)``, but plain-dict lookups and
+reinserts are measurably cheaper at trace scale.
 """
 
-from collections import OrderedDict
 from collections.abc import Iterator
 
 from repro.common.address import require_block_aligned
@@ -18,8 +21,8 @@ class SetAssociativeCache:
 
     def __init__(self, config: CacheConfig):
         self._config = config
-        self._sets: list[OrderedDict[int, CacheLine]] = [
-            OrderedDict() for _ in range(config.num_sets)
+        self._sets: list[dict[int, CacheLine]] = [
+            {} for _ in range(config.num_sets)
         ]
         self.hits = 0
         self.misses = 0
@@ -48,7 +51,7 @@ class SetAssociativeCache:
             return None
         self.hits += 1
         if touch:
-            cache_set.move_to_end(address)
+            cache_set[address] = cache_set.pop(address)
         return line
 
     def insert(self, line: CacheLine) -> CacheLine | None:
@@ -61,11 +64,11 @@ class SetAssociativeCache:
         cache_set = self._sets[self.set_index(line.address)]
         victim = None
         if line.address in cache_set:
+            del cache_set[line.address]
             cache_set[line.address] = line
-            cache_set.move_to_end(line.address)
             return None
         if len(cache_set) >= self._config.ways:
-            _, victim = cache_set.popitem(last=False)
+            victim = cache_set.pop(next(iter(cache_set)))
         cache_set[line.address] = line
         return victim
 

@@ -24,10 +24,20 @@ cache levels cannot collide either.
 """
 
 from collections.abc import Iterator
+from typing import Any
 
 from repro.common.config import CacheConfig, SystemConfig
 from repro.common.constants import CACHE_LINE_SIZE, COUNTER_BLOCK_COVERAGE
 from repro.common.errors import ConfigError
+from repro.crypto.arena import arena_accelerated
+
+_np: Any
+try:
+    import numpy
+except ImportError:  # pragma: no cover - numpy is an optional extra
+    _np = None
+else:
+    _np = numpy
 
 _BLOCKS_PER_PAGE = COUNTER_BLOCK_COVERAGE // CACHE_LINE_SIZE  # 64
 
@@ -45,6 +55,11 @@ class PageAllocator:
     @property
     def used(self) -> int:
         return len(self._taken)
+
+    @property
+    def fresh(self) -> bool:
+        """True while nothing has been drawn (no pages, no cursors)."""
+        return not self._taken and not self._next_free
 
     def allocate(self, residue: int = 0, period: int = 1) -> int:
         """Return an unused page index ``p`` with ``p % period == residue``."""
@@ -75,6 +90,52 @@ def worst_case_addresses(config: CacheConfig, allocator: PageAllocator) -> Itera
                 raise ConfigError(
                     f"page {page} cannot host set {s} of {config.name}")
             yield page * COUNTER_BLOCK_COVERAGE + offset * CACHE_LINE_SIZE
+
+
+def worst_case_addresses_bulk(config: CacheConfig,
+                              allocator: PageAllocator) -> list[int]:
+    """All worst-case fill addresses of a level at once (numpy lanes).
+
+    Equals ``list(worst_case_addresses(config, allocator))`` — same
+    addresses in the same order, same final allocator state — computed in
+    closed form: on a *fresh* allocator the ``k``-th draw of residue class
+    ``r`` is page ``r + k*period``, so every page, offset and address of
+    the fill is pure index arithmetic.  A used allocator (whose cursors
+    the closed form cannot reconstruct), a numpy-less install
+    (``REPRO_ARENA=0``), or any fill the closed form would reject (page
+    overflow, set outside its page) falls back to the scalar generator,
+    which also reproduces the generator's exact ``ConfigError`` and
+    partial allocator mutation on pathological configs.
+    """
+    if not (arena_accelerated() and allocator.fresh):
+        return list(worst_case_addresses(config, allocator))
+    num_sets = config.num_sets
+    ways = config.ways
+    period = max(1, num_sets // _BLOCKS_PER_PAGE)
+    sets = _np.arange(num_sets, dtype=_np.int64)
+    groups = sets // _BLOCKS_PER_PAGE
+    residues = groups % period
+    ranks = (groups // period) * _BLOCKS_PER_PAGE + sets % _BLOCKS_PER_PAGE
+    draws = ranks[:, None] * ways + _np.arange(ways, dtype=_np.int64)
+    pages = residues[:, None] + period * draws
+    offsets = (sets[:, None] - pages * _BLOCKS_PER_PAGE) % num_sets
+    if int(pages.max()) >= allocator._num_pages \
+            or bool((offsets >= _BLOCKS_PER_PAGE).any()):
+        return list(worst_case_addresses(config, allocator))
+    addresses: list[int] = (
+        pages * COUNTER_BLOCK_COVERAGE
+        + offsets * CACHE_LINE_SIZE).reshape(-1).tolist()
+    # Commit the allocator state exactly as the generator would have left
+    # it: every page taken, and each class cursor one period past its
+    # last draw (class r draws pages r, r+period, ..., consecutively).
+    allocator._taken.update(pages.reshape(-1).tolist())
+    class_sets = _np.bincount(residues, minlength=period)
+    for residue in range(period):
+        count = int(class_sets[residue]) * ways
+        if count:
+            allocator._next_free[(period, residue)] = \
+                residue + period * count
+    return addresses
 
 
 def sequential_addresses(config: CacheConfig, base: int = 0) -> Iterator[int]:

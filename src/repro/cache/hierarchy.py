@@ -17,11 +17,16 @@ from collections import Counter
 from collections.abc import Callable, Iterator
 
 from repro.cache.cache import SetAssociativeCache
-from repro.cache.fill import make_allocator, worst_case_addresses
+from repro.cache.fill import (
+    make_allocator,
+    worst_case_addresses,
+    worst_case_addresses_bulk,
+)
 from repro.cache.line import CacheLine
 from repro.common.config import SystemConfig
 from repro.common.errors import ConfigError
 from repro.common.rng import make_rng
+from repro.crypto.arena import tile_u64
 from repro.crypto.batch import batching_enabled
 
 FetchFn = Callable[[int], bytes]
@@ -177,7 +182,7 @@ class CacheHierarchy:
         replace in place and refresh LRU; a full set raises after evicting,
         as the scalar insert would."""
         functional = self._functional
-        pattern = _pattern_data
+        new_line = CacheLine.__new__
 
         def bulk_insert(level: SetAssociativeCache,
                         addresses: list[int], message: str) -> None:
@@ -185,28 +190,36 @@ class CacheHierarchy:
             line_size = level.config.line_size
             num_sets = level.config.num_sets
             ways = level.config.ways
+            # One tiled buffer holds every pattern payload; per-line bytes
+            # are single slices instead of to_bytes + repeat round-trips.
+            payloads = tile_u64(addresses, 8) if functional else None
+            offset = 0
             for address in addresses:
+                line = new_line(CacheLine)
+                line.address = address
+                line.data = payloads[offset:offset + 64] \
+                    if payloads is not None else None
+                line.dirty = True
+                offset += 64
                 cache_set = sets[(address // line_size) % num_sets]
-                line = _raw_line(
-                    address, pattern(address) if functional else None, True)
                 if address in cache_set:
+                    del cache_set[address]
                     cache_set[address] = line
-                    cache_set.move_to_end(address)
                     continue
                 if len(cache_set) >= ways:
-                    cache_set.popitem(last=False)
+                    del cache_set[next(iter(cache_set))]
                     cache_set[address] = line
                     raise ConfigError(message)
                 cache_set[address] = line
 
         if not self.inclusive:
             for level in self.levels:
-                addresses = list(worst_case_addresses(level.config, allocator))
+                addresses = worst_case_addresses_bulk(level.config, allocator)
                 rng.shuffle(addresses)
                 bulk_insert(level, addresses, "worst-case fill must not evict")
             return len(self)
 
-        llc_addresses = list(worst_case_addresses(self._config.llc, allocator))
+        llc_addresses = worst_case_addresses_bulk(self._config.llc, allocator)
         rng.shuffle(llc_addresses)
         bulk_insert(self.llc, llc_addresses,
                     "worst-case fill must not evict from LLC")
@@ -224,7 +237,8 @@ class CacheHierarchy:
                 if len(cache_set) >= ways or address in cache_set:
                     continue
                 cache_set[address] = _raw_line(
-                    address, pattern(address) if functional else None, True)
+                    address,
+                    _pattern_data(address) if functional else None, True)
                 remaining -= 1
 
         return len(self)
@@ -412,7 +426,7 @@ class CacheHierarchy:
                 if line is not None:
                     # read(): L1 hit.
                     l1_hits += 1
-                    set1.move_to_end(address)
+                    set1[address] = set1.pop(address)
                     c_l1 += 1
                 else:
                     l1_misses += 1
@@ -435,7 +449,7 @@ class CacheHierarchy:
                             llc_line.data = marker
                             llc_line.dirty = False
                             if len(set3) >= llc_ways:
-                                _, victim = set3.popitem(last=False)
+                                victim = set3.pop(next(iter(set3)))
                                 set3[address] = llc_line
                                 vaddr = victim.address
                                 vdata, vdirty = victim.data, victim.dirty
@@ -455,7 +469,7 @@ class CacheHierarchy:
                         else:
                             # read(): LLC hit.
                             llc_hits += 1
-                            set3.move_to_end(address)
+                            set3[address] = set3.pop(address)
                             c_llc += 1
                         # _install(l2, ...) + the touch=False re-lookup.
                         l2_line = new_line(CacheLine)
@@ -463,7 +477,7 @@ class CacheHierarchy:
                         l2_line.data = llc_line.data
                         l2_line.dirty = False
                         if len(set2) >= l2_ways:
-                            _, victim = set2.popitem(last=False)
+                            victim = set2.pop(next(iter(set2)))
                             set2[address] = l2_line
                             vaddr = victim.address
                             copy = l1_sets[(vaddr // l1_ls) % l1_ns] \
@@ -487,7 +501,7 @@ class CacheHierarchy:
                     else:
                         # read(): L2 hit.
                         l2_hits += 1
-                        set2.move_to_end(address)
+                        set2[address] = set2.pop(address)
                         c_l2 += 1
                     # read()'s unconditional touch=False L2 re-lookup.
                     l2_hits += 1
@@ -497,7 +511,7 @@ class CacheHierarchy:
                     line.data = l2_line.data
                     line.dirty = False
                     if len(set1) >= l1_ways:
-                        _, victim = set1.popitem(last=False)
+                        victim = set1.pop(next(iter(set1)))
                         set1[address] = line
                         if victim.dirty:
                             vaddr = victim.address
@@ -550,14 +564,19 @@ class CacheHierarchy:
             raise ConfigError("fills and fetched results must align")
         if not fills:
             return
-        resolved = {id(marker): data
-                    for marker, data in zip(fills, fetched)}
-        for level in self.levels:
-            for cache_set in level._sets:
-                for line in cache_set.values():
-                    data = line.data
-                    if type(data) is PendingFill:
-                        line.data = resolved[id(data)]
+        # A marker only ever resides at lines whose address matches it:
+        # payloads move between levels strictly along same-address
+        # install/merge chains, and a written line stops being a marker.
+        # Each fill therefore resolves with one set lookup per level
+        # instead of a full-hierarchy scan.
+        levels = [(level._sets, level.config.line_size,
+                   level.config.num_sets) for level in self.levels]
+        for marker, data in zip(fills, fetched):
+            address = marker.address
+            for sets, line_size, num_sets in levels:
+                line = sets[(address // line_size) % num_sets].get(address)
+                if line is not None and line.data is marker:
+                    line.data = data
 
     # ------------------------------------------------------------------
     # Internals

@@ -41,7 +41,8 @@ from repro.core.chv import (
     ChvLayout,
     VaultRotation,
 )
-from repro.crypto.batch import batching_enabled, counter_frames, split_blocks
+from repro.crypto.arena import frame_buffer, pack_u64
+from repro.crypto.batch import batching_enabled, split_blocks
 from repro.crypto.counters import DrainCounter
 from repro.crypto.engine import AesEngine, MacEngine
 from repro.crypto.primitives import MacDomain
@@ -135,7 +136,7 @@ class HorusDrainEngine(DrainEngine):
         rotation = self._rotation
         start = self._dc.take(count)
         counters = range(start, start + count)
-        frames = counter_frames(addresses, counters)
+        frames = frame_buffer(addresses, counters)
 
         plaintext = None
         if count and payloads[0] is not None:
@@ -145,20 +146,74 @@ class HorusDrainEngine(DrainEngine):
         macs = self._mac.block_mac_batch(
             MacKind.CHV_DATA, ciphertext, addresses, counters,
             domain=MacDomain.CHV_DATA, frames=frames)
+        mac_raw = b"".join(macs)
+
+        level2: list[bytes] = []
+        level2_raw = b""
+        if self._dlm and count:
+            mac_view = memoryview(mac_raw)
+            groups = [mac_view[i:i + CACHE_LINE_SIZE]
+                      for i in range(0, len(mac_raw), CACHE_LINE_SIZE)]
+            level2 = self._mac.digest_mac_batch(
+                MacKind.CHV_LEVEL2, groups, len(groups),
+                domain=MacDomain.CHV_LEVEL2)
+            level2_raw = b"".join(level2)
+
+        data_addresses = chv.data_addresses(rotation.data_slots(count))
+
+        # The batch's composition is known in closed form (kinds is a
+        # CHV_DATA prefix followed by a CHV_METADATA suffix); zero-count
+        # kinds are omitted so the folded stats update touches exactly the
+        # counters the scalar path would.
+        data_count = kinds.count(WriteKind.CHV_DATA)
+        addr_blocks = -(-count // ADDRESSES_PER_BLOCK)
+        mac_blocks = -(-count // self.mac_group)
+
+        if self._nvm.grouped_io:
+            # No fault plan, wear tracker, or trace is watching individual
+            # requests, so the interleaved stream can collapse into three
+            # arena writes (data, address blocks, MAC blocks): the episode
+            # touches disjoint CHV regions, so the final image and the
+            # folded per-kind counters are identical to scalar issue.
+            data_counts = {}
+            if data_count:
+                data_counts[WriteKind.CHV_DATA] = data_count
+            if count > data_count:
+                data_counts[WriteKind.CHV_METADATA] = count - data_count
+            self._nvm.write_arena(
+                data_addresses,
+                ciphertext if ciphertext is not None
+                else bytes(count * CACHE_LINE_SIZE),
+                WriteKind.CHV_DATA, data_counts)
+
+            addr_buf = pack_u64(addresses)
+            if len(addr_buf) < addr_blocks * CACHE_LINE_SIZE:
+                addr_buf = addr_buf.ljust(addr_blocks * CACHE_LINE_SIZE,
+                                          b"\0")
+            addr_group = rotation.address_group
+            self._nvm.write_arena(
+                [chv.address_block_address(addr_group(g))
+                 for g in range(addr_blocks)],
+                addr_buf, WriteKind.CHV_ADDRESS)
+
+            mac_buf = level2_raw if self._dlm else mac_raw
+            if len(mac_buf) < mac_blocks * CACHE_LINE_SIZE:
+                mac_buf = mac_buf.ljust(mac_blocks * CACHE_LINE_SIZE, b"\0")
+            mac_group = rotation.mac_group
+            self._nvm.write_arena(
+                [chv.mac_block_address(mac_group(g, self.mac_group),
+                                       self.mac_group)
+                 for g in range(mac_blocks)],
+                mac_buf, WriteKind.CHV_MAC)
+            return
+
+        # Accounted channels (fault plan / wear / trace) observe each
+        # request: build the interleaved per-write stream so they see the
+        # exact scalar order, and lose exactly the same writes.
         if ciphertext is None:
             data_payloads: list[bytes] = [_ZERO_BLOCK] * count
         else:
             data_payloads = split_blocks(ciphertext)
-
-        level2: list[bytes] = []
-        if self._dlm and count:
-            groups = [b"".join(macs[i:i + MACS_PER_BLOCK])
-                      for i in range(0, count, MACS_PER_BLOCK)]
-            level2 = self._mac.digest_mac_batch(
-                MacKind.CHV_LEVEL2, groups, len(groups),
-                domain=MacDomain.CHV_LEVEL2)
-
-        data_addresses = chv.data_addresses(rotation.data_slots(count))
         data_writes = list(zip(data_addresses, data_payloads, kinds))
         writes: list[tuple[int, bytes, WriteKind]] = []
         extend = writes.extend
@@ -198,20 +253,14 @@ class HorusDrainEngine(DrainEngine):
                 macs, count - count % MACS_PER_BLOCK, count,
                 count // MACS_PER_BLOCK))
 
-        # The batch's composition is known in closed form (kinds is a
-        # CHV_DATA prefix followed by a CHV_METADATA suffix); zero-count
-        # kinds are omitted so the folded stats update touches exactly the
-        # counters the scalar path would.
         kind_counts = {}
-        data_count = kinds.count(WriteKind.CHV_DATA)
         if data_count:
             kind_counts[WriteKind.CHV_DATA] = data_count
         if count > data_count:
             kind_counts[WriteKind.CHV_METADATA] = count - data_count
         if count:
-            kind_counts[WriteKind.CHV_ADDRESS] = \
-                -(-count // ADDRESSES_PER_BLOCK)
-            kind_counts[WriteKind.CHV_MAC] = -(-count // self.mac_group)
+            kind_counts[WriteKind.CHV_ADDRESS] = addr_blocks
+            kind_counts[WriteKind.CHV_MAC] = mac_blocks
         self._nvm.write_batch(writes, kind_counts)
 
     def _address_block(self, addresses: list[int], lo: int,

@@ -23,6 +23,7 @@ from repro.common.constants import (
 )
 from repro.common.errors import ConfigError, IntegrityError, RecoveryError
 from repro.core.chv import MAC_GROUP_DLM, MAC_GROUP_SLM, ChvLayout
+from repro.crypto.arena import unpack_u64
 from repro.crypto.batch import batching_enabled, split_blocks
 from repro.crypto.counters import DrainCounter
 from repro.crypto.primitives import MacDomain
@@ -201,60 +202,68 @@ class HorusRecovery:
         chv = self._chv
         group_size = self.mac_group
 
-        address_blocks = self._nvm.read_batch(
+        address_buf = self._nvm.read_arena(
             [chv.address_block_address(rotation.address_group(g))
              for g in range(-(-count // ADDRESSES_PER_BLOCK))],
             ReadKind.CHV)
-        mac_blocks = self._nvm.read_batch(
+        mac_buf = self._nvm.read_arena(
             [chv.mac_block_address(rotation.mac_group(g, group_size),
                                    group_size)
              for g in range(-(-count // group_size))],
             ReadKind.CHV)
-        data_blocks = self._nvm.read_batch(
+        buffer = self._nvm.read_arena(
             chv.data_addresses(rotation.data_slots(count)), ReadKind.CHV)
 
-        addresses = [
-            int.from_bytes(block[slot * 8:(slot + 1) * 8], "little")
-            for block in address_blocks
-            for slot in range(ADDRESSES_PER_BLOCK)][:count]
+        addresses = unpack_u64(address_buf)[:count]
         base = self._dc.value - self._dc.ephemeral
         counters = range(base, base + count)
-        buffer = b"".join(data_blocks)
         computed = mac.block_mac_batch(MacKind.VERIFY, buffer, addresses,
                                        counters, domain=MacDomain.CHV_DATA)
+        computed_raw = b"".join(computed)
 
         verified = count
         failure: IntegrityError | None = None
         if self._dlm:
-            groups = [b"".join(computed[i:i + MACS_PER_BLOCK])
-                      for i in range(0, count, MACS_PER_BLOCK)]
+            computed_view = memoryview(computed_raw)
+            groups = [computed_view[i:i + CACHE_LINE_SIZE]
+                      for i in range(0, len(computed_raw), CACHE_LINE_SIZE)]
             level2 = mac.digest_mac_batch(MacKind.VERIFY, groups,
                                           len(groups),
                                           domain=MacDomain.CHV_LEVEL2)
-            for g, second in enumerate(level2):
-                start = g * MACS_PER_BLOCK
-                slot = (start % MAC_GROUP_DLM) // MACS_PER_BLOCK
-                stored = mac_blocks[start // MAC_GROUP_DLM][
-                    slot * MAC_SIZE:(slot + 1) * MAC_SIZE]
-                if stored != second:
-                    verified = start
-                    position = min(start + MACS_PER_BLOCK, count) - 1
-                    failure = IntegrityError(
-                        f"CHV second-level MAC mismatch for group ending "
-                        f"at vault position {position}")
-                    break
+            level2_raw = b"".join(level2)
+            # Fast path: an untampered vault matches the whole stored MAC
+            # run at once (stored second-level MACs are consecutive 8 B
+            # slots); only a mismatch pays the per-group scan that
+            # pinpoints the first failing group exactly like scalar.
+            if mac_buf[:len(level2_raw)] != level2_raw:
+                mac_blocks = split_blocks(mac_buf)
+                for g, second in enumerate(level2):
+                    start = g * MACS_PER_BLOCK
+                    slot = (start % MAC_GROUP_DLM) // MACS_PER_BLOCK
+                    stored = mac_blocks[start // MAC_GROUP_DLM][
+                        slot * MAC_SIZE:(slot + 1) * MAC_SIZE]
+                    if stored != second:
+                        verified = start
+                        position = min(start + MACS_PER_BLOCK, count) - 1
+                        failure = IntegrityError(
+                            f"CHV second-level MAC mismatch for group "
+                            f"ending at vault position {position}")
+                        break
         else:
-            for position in range(count):
-                stored = self._stored_mac(
-                    mac_blocks[position // MAC_GROUP_SLM], position,
-                    MAC_GROUP_SLM)
-                if stored != computed[position]:
-                    verified = position
-                    failure = IntegrityError(
-                        f"CHV MAC mismatch at vault position {position} "
-                        f"(original address {addresses[position]:#x})",
-                        addresses[position])
-                    break
+            if mac_buf[:len(computed_raw)] != computed_raw:
+                mac_blocks = split_blocks(mac_buf)
+                for position in range(count):
+                    stored = self._stored_mac(
+                        mac_blocks[position // MAC_GROUP_SLM], position,
+                        MAC_GROUP_SLM)
+                    if stored != computed[position]:
+                        verified = position
+                        failure = IntegrityError(
+                            f"CHV MAC mismatch at vault position "
+                            f"{position} (original address "
+                            f"{addresses[position]:#x})",
+                            addresses[position])
+                        break
 
         if verified:
             plaintext = aes.decrypt_batch(

@@ -25,7 +25,13 @@ import os
 from collections.abc import Iterable, Sequence
 
 from repro.common.constants import CACHE_LINE_SIZE, MAC_SIZE
+from repro.crypto.arena import frame_buffer, frame_views, xor_bytes
 from repro.crypto.primitives import MAC_DOMAIN, PAD_DOMAIN, MacDomain
+
+Frames = Sequence[bytes] | bytes | bytearray | memoryview | None
+"""A batch's (address, counter) hash frames: either the list form from
+:func:`counter_frames` or the contiguous form from
+:func:`repro.crypto.arena.frame_buffer` (24 B per block)."""
 
 
 def batching_enabled(override: bool | None = None) -> bool:
@@ -56,26 +62,41 @@ def counter_frames(addresses: Sequence[int],
             for address, counter in zip(addresses, counters)]
 
 
+def _resolve_frames(frames: Frames, addresses: Sequence[int],
+                    counters: Sequence[int]) -> Iterable[bytes | memoryview]:
+    """Iterate a batch's frames regardless of representation.
+
+    ``None`` assembles them (contiguously, via the arena kernel); a
+    ``bytes``/``bytearray``/``memoryview`` buffer is sliced into 24 B
+    zero-copy windows; a pre-built list is returned as is.  Every form
+    yields the exact bytes :func:`counter_frames` would produce.
+    """
+    if frames is None:
+        frames = frame_buffer(addresses, counters)
+    if isinstance(frames, (bytes, bytearray, memoryview)):
+        return frame_views(frames, len(addresses))
+    return frames
+
+
 def generate_pads(key: bytes, addresses: Sequence[int],
                   counters: Sequence[int],
-                  frames: Sequence[bytes] | None = None) -> bytes:
+                  frames: Frames = None) -> bytes:
     """Counter-mode pads for a batch of blocks, as one contiguous buffer.
 
     Byte ``64*i .. 64*i+63`` equals ``generate_pad(key, addresses[i],
     counters[i])``.  The keyed state and the pad domain tag are absorbed
     once; each block only pays for its own (address, counter) frame.
     ``frames`` lets a caller that also MACs the same batch reuse one
-    :func:`counter_frames` pass; it must equal
-    ``counter_frames(addresses, counters)``.
+    frame-assembly pass — either the :func:`counter_frames` list or the
+    contiguous :func:`repro.crypto.arena.frame_buffer` form.
     """
-    if frames is None:
-        frames = counter_frames(addresses, counters)
+    frame_iter = _resolve_frames(frames, addresses, counters)
     base = hashlib.blake2b(key=key, digest_size=CACHE_LINE_SIZE)
     base.update(PAD_DOMAIN)
     fork = base.copy
     pads: list[bytes] = []
     append = pads.append
-    for frame in frames:
+    for frame in frame_iter:
         h = fork()
         h.update(frame)
         append(h.digest())
@@ -83,20 +104,19 @@ def generate_pads(key: bytes, addresses: Sequence[int],
 
 
 def xor_buffers(a: bytes, b: bytes) -> bytes:
-    """XOR two equal-length buffers in one arbitrary-precision operation.
+    """XOR two equal-length buffers in one bulk operation.
 
     With 64 B inputs this is exactly ``xor_block``; over a whole episode's
-    concatenated blocks it replaces N int conversions with one.
+    concatenated blocks it replaces N int conversions with one pass (u64
+    lanes when the arena is accelerated, one big-int op otherwise).
     """
-    if len(a) != len(b):
-        raise ValueError(f"buffer lengths differ: {len(a)} != {len(b)}")
-    return (int.from_bytes(a, "little")
-            ^ int.from_bytes(b, "little")).to_bytes(len(a), "little")
+    return xor_bytes(a, b)
 
 
 def encrypt_blocks(key: bytes, addresses: Sequence[int],
-                   counters: Sequence[int], plaintext: bytes,
-                   frames: Sequence[bytes] | None = None) -> bytes:
+                   counters: Sequence[int],
+                   plaintext: bytes | bytearray | memoryview,
+                   frames: Frames = None) -> bytes:
     """Counter-mode encrypt a contiguous buffer of 64 B blocks.
 
     ``plaintext`` is the concatenation of ``len(addresses)`` blocks; the
@@ -118,7 +138,8 @@ decrypt_blocks = encrypt_blocks
 """Counter-mode decryption is identical to encryption by construction."""
 
 
-def compute_macs(key: bytes, items: Iterable[tuple[bytes, ...]],
+def compute_macs(key: bytes,
+                 items: Iterable[tuple[bytes | memoryview, ...]],
                  domain: MacDomain = MacDomain.NODE) -> list[bytes]:
     """Keyed MACs over a batch of pre-framed inputs.
 
@@ -140,22 +161,22 @@ def compute_macs(key: bytes, items: Iterable[tuple[bytes, ...]],
     return macs
 
 
-def compute_block_macs(key: bytes, buffer: bytes, addresses: Sequence[int],
+def compute_block_macs(key: bytes, buffer: bytes | bytearray | memoryview,
+                       addresses: Sequence[int],
                        counters: Sequence[int], domain: MacDomain,
-                       frames: Sequence[bytes] | None = None) -> list[bytes]:
+                       frames: Frames = None) -> list[bytes]:
     """Batched (ciphertext, address, counter) MACs — the CHV/data-MAC shape.
 
     ``buffer`` is the concatenation of ``len(addresses)`` 64 B blocks;
     element ``i`` equals ``compute_mac(key, block_i, int_field(addr),
-    int_field(ctr, 16), domain=domain)``.  ``frames`` reuses a
-    :func:`counter_frames` pass shared with pad generation.
+    int_field(ctr, 16), domain=domain)``.  ``frames`` reuses a frame
+    pass shared with pad generation (list or contiguous form).
     """
     if len(buffer) != CACHE_LINE_SIZE * len(addresses):
         raise ValueError(
             f"buffer must be {CACHE_LINE_SIZE} B per address, got "
             f"{len(buffer)} B for {len(addresses)} addresses")
-    if frames is None:
-        frames = counter_frames(addresses, counters)
+    frame_iter = _resolve_frames(frames, addresses, counters)
     view = memoryview(buffer)
     base = hashlib.blake2b(key=key, digest_size=MAC_SIZE)
     base.update(MAC_DOMAIN)
@@ -164,7 +185,7 @@ def compute_block_macs(key: bytes, buffer: bytes, addresses: Sequence[int],
     macs: list[bytes] = []
     append = macs.append
     offset = 0
-    for frame in frames:
+    for frame in frame_iter:
         h = fork()
         h.update(view[offset:offset + CACHE_LINE_SIZE])
         h.update(frame)
@@ -173,9 +194,12 @@ def compute_block_macs(key: bytes, buffer: bytes, addresses: Sequence[int],
     return macs
 
 
-def split_blocks(buffer: bytes, size: int = CACHE_LINE_SIZE) -> list[bytes]:
-    """Cut a contiguous buffer back into ``size``-byte blocks."""
+def split_blocks(buffer: bytes | bytearray | memoryview,
+                 size: int = CACHE_LINE_SIZE) -> list[bytes]:
+    """Cut a contiguous buffer back into ``size``-byte ``bytes`` blocks."""
     if len(buffer) % size:
         raise ValueError(f"buffer length {len(buffer)} not a multiple "
                          f"of {size}")
+    if not isinstance(buffer, bytes):
+        buffer = bytes(buffer)
     return [buffer[i:i + size] for i in range(0, len(buffer), size)]

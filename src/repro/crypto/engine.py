@@ -54,8 +54,8 @@ class AesEngine:
 
     def encrypt_batch(self, addresses: Sequence[int],
                       counters: Sequence[int],
-                      plaintext: bytes | None,
-                      frames: Sequence[bytes] | None = None) -> bytes | None:
+                      plaintext: bytes | bytearray | memoryview | None,
+                      frames: batch.Frames = None) -> bytes | None:
         """Encrypt a contiguous batch; accounts one AES op per block.
 
         ``plaintext`` is the concatenation of the batch's blocks, or
@@ -72,8 +72,8 @@ class AesEngine:
 
     def decrypt_batch(self, addresses: Sequence[int],
                       counters: Sequence[int],
-                      ciphertext: bytes | None,
-                      frames: Sequence[bytes] | None = None) -> bytes | None:
+                      ciphertext: bytes | bytearray | memoryview | None,
+                      frames: batch.Frames = None) -> bytes | None:
         """Decrypt a contiguous batch; accounts one AES op per block."""
         self._stats.record_aes(AesKind.DECRYPT, len(addresses))
         if not self.functional or ciphertext is None:
@@ -135,10 +135,11 @@ class MacEngine:
             domain = _DIGEST_DOMAINS.get(kind, MacDomain.NODE)
         return compute_mac(self._key, content, domain=domain)
 
-    def block_mac_batch(self, kind: MacKind, buffer: bytes | None,
+    def block_mac_batch(self, kind: MacKind,
+                        buffer: bytes | bytearray | memoryview | None,
                         addresses: Sequence[int], counters: Sequence[int],
                         domain: MacDomain | None = None,
-                        frames: Sequence[bytes] | None = None) -> list[bytes]:
+                        frames: batch.Frames = None) -> list[bytes]:
         """Batched :meth:`block_mac`: one accounted MAC per element.
 
         ``buffer`` holds the batch's ciphertext blocks contiguously;
@@ -157,7 +158,8 @@ class MacEngine:
                                         counters, domain, frames)
 
     def digest_mac_batch(self, kind: MacKind,
-                         contents: Sequence[bytes] | None, count: int,
+                         contents: Sequence[bytes | memoryview] | None,
+                         count: int,
                          domain: MacDomain | None = None) -> list[bytes]:
         """Batched :meth:`digest_mac` over ``count`` raw contents."""
         self._stats.record_mac(kind, count)

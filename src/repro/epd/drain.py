@@ -100,6 +100,17 @@ class NonSecureDrain(DrainEngine):
     def _run(self, hierarchy: CacheHierarchy,
              seed: int | None) -> tuple[int, int]:
         if self.batched:
+            if self._nvm.grouped_io:
+                # One arena write: addresses in drain order, payloads as a
+                # single contiguous buffer (same image, one folded stats
+                # update — exactly what per-line issue would record).
+                lines = list(hierarchy.drain_lines(seed))
+                addresses = [line.address for line in lines]
+                buffer = b"".join(
+                    line.data if line.data is not None else _ZERO_BLOCK
+                    for line in lines)
+                self._nvm.write_arena(addresses, buffer, WriteKind.DATA)
+                return len(lines), 0
             writes = [(line.address,
                        line.data if line.data is not None else _ZERO_BLOCK,
                        WriteKind.DATA)

@@ -12,10 +12,12 @@ Keys are a SHA-256 over a canonical JSON encoding of:
 * the full :class:`~repro.common.config.SystemConfig` (every field, so any
   geometry/latency/security change invalidates),
 * the scheme / experiment name, fill mode, and the fill/drain seeds,
-* a *code version* fingerprint — the sorted ``(relpath, size, mtime_ns)``
-  of every ``.py`` file in the ``repro`` package, so editing the simulator
-  safely invalidates every cached result (set ``REPRO_CODE_VERSION`` to pin
-  it explicitly, e.g. in tests).
+* a *code version* fingerprint over every ``.py`` file in the ``repro``
+  package, so editing the simulator safely invalidates every cached
+  result.  ``REPRO_CODE_FINGERPRINT`` selects between the fast local
+  ``mtime`` mode (relpath, size, mtime_ns) and a checkout-stable
+  ``content`` mode (relpath, sha256); ``REPRO_CODE_VERSION`` pins the
+  fingerprint explicitly, e.g. in tests.
 
 Corrupted or truncated cache files are treated as misses (and removed);
 the cache never turns a readable-but-wrong file into a crash.
@@ -57,25 +59,46 @@ simulator must crash the run, only bad bytes on disk may become a miss."""
 
 @lru_cache(maxsize=1)
 def code_version() -> str:
-    """Fingerprint of the installed ``repro`` sources (mtime/size based).
+    """Fingerprint of the installed ``repro`` sources.
 
-    ``REPRO_CODE_VERSION`` overrides the computed fingerprint, which lets
-    tests exercise invalidation and lets deployments pin a release tag.
+    Two modes, selected by ``REPRO_CODE_FINGERPRINT``:
+
+    * ``mtime`` (the default) — sorted ``(relpath, size, mtime_ns)``
+      entries.  Fast (one ``stat`` per file) and exactly right for local
+      editing, but unstable across fresh checkouts, which reset mtimes.
+    * ``content`` — sorted ``(relpath, sha256(bytes))`` entries.  Reads
+      every source file, but identical trees fingerprint identically
+      regardless of checkout time, so CI and shared cache directories
+      get real hits.
+
+    ``REPRO_CODE_VERSION`` overrides the computed fingerprint entirely,
+    which lets tests exercise invalidation and lets deployments pin a
+    release tag.
     """
     override = os.environ.get("REPRO_CODE_VERSION")
     if override:
         return override
+    mode = os.environ.get("REPRO_CODE_FINGERPRINT", "mtime")
+    if mode not in ("mtime", "content"):
+        raise ValueError(
+            f"REPRO_CODE_FINGERPRINT must be 'mtime' or 'content', "
+            f"got {mode!r}")
     import repro
 
     root = Path(repro.__file__).resolve().parent
-    entries = []
+    entries: list[tuple] = []
     for path in sorted(root.rglob("*.py")):
         try:
-            stat = path.stat()
+            if mode == "content":
+                entry = (str(path.relative_to(root)),
+                         hashlib.sha256(path.read_bytes()).hexdigest())
+            else:
+                stat = path.stat()
+                entry = (str(path.relative_to(root)), stat.st_size,
+                         stat.st_mtime_ns)
         except OSError:
             continue
-        entries.append((str(path.relative_to(root)), stat.st_size,
-                        stat.st_mtime_ns))
+        entries.append(entry)
     digest = hashlib.sha256(json.dumps(entries).encode()).hexdigest()
     return digest[:16]
 

@@ -126,7 +126,7 @@ class BatchParityRule(Rule):
                  "tested.")
     scope = ("repro",)
 
-    SUFFIXES = ("_batch", "_blocks")
+    SUFFIXES = ("_batch", "_blocks", "_arena")
     COVERAGE_MAP = "tests/test_prop_batch.py"
     ORACLE = "src/repro/core/oracle.py"
     PROPERTY_DECORATORS = frozenset({"property", "cached_property"})

@@ -87,6 +87,57 @@ class SparseMemory:
             (address // CACHE_LINE_SIZE, bytes(data))
             for address, data in items)
 
+    def write_arena(self, addresses, buffer) -> None:
+        """Store blocks from one contiguous buffer: ``buffer[64*i:64*i+64]``
+        lands at ``addresses[i]``.
+
+        Semantically identical to :meth:`write_blocks` over the zipped
+        pairs (same validation-before-store contract, same last-write-wins
+        on duplicate addresses) but the per-block payload objects are
+        never materialized — the arena is sliced exactly once here, at
+        the storage boundary.
+        """
+        count = len(addresses)
+        if len(buffer) != count * CACHE_LINE_SIZE:
+            raise AddressError(
+                f"arena writes must be exactly {CACHE_LINE_SIZE} B per "
+                f"address, got {len(buffer)} B for {count} addresses")
+        size = self._size
+        for address in addresses:
+            if address % CACHE_LINE_SIZE:
+                raise AddressError(f"address {address:#x} is not "
+                                   f"{CACHE_LINE_SIZE}-byte aligned")
+            if address + CACHE_LINE_SIZE > size:
+                raise AddressError(
+                    f"address {address:#x} beyond end of memory "
+                    f"({size:#x})")
+        if not isinstance(buffer, bytes):
+            buffer = bytes(buffer)
+        self._blocks.update(
+            (address // CACHE_LINE_SIZE, buffer[offset:offset + CACHE_LINE_SIZE])
+            for address, offset in zip(
+                addresses, range(0, count * CACHE_LINE_SIZE,
+                                 CACHE_LINE_SIZE)))
+
+    def read_arena(self, addresses) -> bytearray:
+        """Read a batch of blocks into one contiguous buffer.
+
+        Byte ``64*i .. 64*i+63`` is :meth:`read_block` of ``addresses[i]``
+        (zeros for never-written blocks), without N intermediate ``bytes``
+        objects.
+        """
+        blocks = self._blocks
+        limit = self._size - CACHE_LINE_SIZE
+        out = bytearray(len(addresses) * CACHE_LINE_SIZE)
+        offset = 0
+        for address in addresses:
+            if address % CACHE_LINE_SIZE or not 0 <= address <= limit:
+                self._check(address)
+            out[offset:offset + CACHE_LINE_SIZE] = blocks.get(
+                address // CACHE_LINE_SIZE, ZERO_BLOCK)
+            offset += CACHE_LINE_SIZE
+        return out
+
     def read_blocks(self, addresses) -> list[bytes]:
         """Read a batch of 64 B blocks (:meth:`read_block` per element)."""
         blocks = self._blocks

@@ -10,6 +10,7 @@ medium: the controller's view of a write and the cells' view can disagree,
 and that disagreement is exactly what recovery must survive.
 """
 
+from repro.common.constants import CACHE_LINE_SIZE
 from repro.common.errors import AddressError
 from repro.faults.plan import FaultPlan, PowerCut
 from repro.mem.backend import SparseMemory
@@ -123,6 +124,8 @@ class NvmDevice:
         persisted: bytes | None = data
         if self.fault_plan is not None:
             old = self._backend.read_block(address)
+            if not isinstance(data, bytes):
+                data = bytes(data)  # fault events splice bytes, not views
             persisted = self.fault_plan.filter_write(address, data, old)
         if persisted is not None:
             self._backend.write_block(address, persisted)
@@ -168,6 +171,94 @@ class NvmDevice:
         record = self.stats.record_write
         for kind, count in kind_counts.items():
             record(kind, count)
+
+    @property
+    def grouped_io(self) -> bool:
+        """Whether arena-grouped issue is observationally equivalent.
+
+        A fault plan, wear tracker, or request trace needs to see every
+        write individually and in program order; when any is attached the
+        callers must fall back to the per-request (or interleaved
+        ``write_batch``) form so those channels record exactly what scalar
+        issue would have recorded.
+        """
+        return (self.fault_plan is None and self.wear is None
+                and self.trace is None)
+
+    def write_arena(self, addresses, buffer, kinds,
+                    kind_counts=None) -> None:
+        """Write blocks from one contiguous buffer (``buffer[64*i:]`` to
+        ``addresses[i]``), accounted like :meth:`write` per element.
+
+        ``kinds`` is either one :class:`WriteKind` for the whole batch or a
+        per-element sequence; ``kind_counts`` optionally skips the counting
+        pass exactly as in :meth:`write_batch`.  When :attr:`grouped_io` is
+        false the batch degrades to scalar issue in list order, so fault
+        plans, wear, and traces observe the same per-request stream the
+        scalar path would produce.  Callers that need a specific
+        *interleaving* with other writes under a fault plan must check
+        :attr:`grouped_io` themselves and build that interleaved stream.
+        """
+        count = len(addresses)
+        single = isinstance(kinds, WriteKind)
+        if not self.grouped_io:
+            view = memoryview(buffer)
+            for index, address in enumerate(addresses):
+                offset = index * CACHE_LINE_SIZE
+                self.write(address,
+                           bytes(view[offset:offset + CACHE_LINE_SIZE]),
+                           kinds if single else kinds[index])
+            return
+        if kind_counts is None:
+            if single:
+                kind_counts = {kinds: count}
+            else:
+                kind_counts = {}
+                for kind in kinds:
+                    kind_counts[kind] = kind_counts.get(kind, 0) + 1
+        for kind in kind_counts:
+            if not isinstance(kind, WriteKind):
+                raise AddressError(
+                    f"write kind must be a WriteKind, got {kind!r}")
+        self._backend.write_arena(addresses, buffer)
+        record = self.stats.record_write
+        for kind, kind_count in kind_counts.items():
+            record(kind, kind_count)
+
+    def read_arena(self, addresses, kind: ReadKind) -> bytearray:
+        """Read a batch into one contiguous buffer, accounted under ``kind``.
+
+        Byte ``64*i .. 64*i+63`` is :meth:`read` of ``addresses[i]``; with
+        a trace attached the batch falls back to scalar issue (the request
+        log keeps per-request granularity), otherwise stats fold into one
+        counter update.
+        """
+        if not isinstance(kind, ReadKind):
+            raise AddressError(f"read kind must be a ReadKind, got {kind!r}")
+        if self.trace is not None:
+            out = bytearray()
+            for address in addresses:
+                out += self.read(address, kind)
+            return out
+        data = self._backend.read_arena(addresses)
+        self.stats.record_read(kind, len(addresses))
+        return data
+
+    def account_reads(self, kind: ReadKind, count: int) -> None:
+        """Account ``count`` reads served from a controller-held copy.
+
+        A batched controller may satisfy a read from data it wrote earlier
+        in the same grouped batch (the backend already persisted identical
+        bytes); the device still counts the request.  Refused when a trace
+        is attached — those reads must be issued individually so the
+        request log stays complete.
+        """
+        if not isinstance(kind, ReadKind):
+            raise AddressError(f"read kind must be a ReadKind, got {kind!r}")
+        if self.trace is not None:
+            raise AddressError(
+                "account_reads cannot stand in for traced requests")
+        self.stats.record_read(kind, count)
 
     def peek(self, address: int) -> bytes:
         """Read without accounting (simulator-internal inspection only)."""

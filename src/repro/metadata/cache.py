@@ -11,7 +11,6 @@ Everything resident in a metadata cache has been integrity-verified at fill
 time; residency implies trust (the on-chip TCB of the threat model).
 """
 
-from collections import OrderedDict
 from collections.abc import Iterator
 from dataclasses import dataclass
 from typing import Any
@@ -34,8 +33,11 @@ class MetadataCache:
 
     def __init__(self, config: CacheConfig) -> None:
         self._config = config
-        self._sets: list[OrderedDict[int, MetaLine]] = [
-            OrderedDict() for _ in range(config.num_sets)
+        # Plain dicts in insertion (LRU->MRU) order; touch = pop-and-
+        # reinsert, victim = next(iter(set)).  Cheaper than OrderedDict
+        # at per-metadata-access call rates.
+        self._sets: list[dict[int, MetaLine]] = [
+            {} for _ in range(config.num_sets)
         ]
         # Plain ints for the per-op hot path (lookup/insert run once per
         # metadata access); the dataclass chases stay off it.
@@ -52,7 +54,7 @@ class MetadataCache:
     def name(self) -> str:
         return self._config.name
 
-    def _set_for(self, address: int) -> OrderedDict[int, MetaLine]:
+    def _set_for(self, address: int) -> dict[int, MetaLine]:
         return self._sets[(address // CACHE_LINE_SIZE) % self._num_sets]
 
     def lookup(self, address: int) -> MetaLine | None:
@@ -62,7 +64,7 @@ class MetadataCache:
             self.misses += 1
             return None
         self.hits += 1
-        cache_set.move_to_end(address)
+        cache_set[address] = cache_set.pop(address)
         return line
 
     def insert(self, line: MetaLine) -> MetaLine | None:
@@ -71,11 +73,11 @@ class MetadataCache:
         cache_set = self._sets[(address // CACHE_LINE_SIZE) % self._num_sets]
         victim: MetaLine | None = None
         if address in cache_set:
+            del cache_set[address]
             cache_set[address] = line
-            cache_set.move_to_end(address)
             return None
         if len(cache_set) >= self._ways:
-            _, victim = cache_set.popitem(last=False)
+            victim = cache_set.pop(next(iter(cache_set)))
         cache_set[address] = line
         return victim
 

@@ -24,6 +24,7 @@ from repro.common.constants import (
 )
 from repro.common.config import CacheConfig
 from repro.common.errors import ConfigError, IntegrityError
+from repro.crypto.arena import frame_buffer
 from repro.crypto.batch import batching_enabled
 from repro.crypto.counters import SplitCounterBlock
 from repro.crypto.engine import AesEngine, MacEngine
@@ -312,8 +313,7 @@ class SecureMemoryController:
         # Stage 2 — one crypto batch for every write in the segment.
         write_macs: list[bytes]
         if write_addrs:
-            from repro.crypto.batch import counter_frames
-            frames = counter_frames(write_addrs, write_ctrs)
+            frames = frame_buffer(write_addrs, write_ctrs)
             ciphertext = self.aes.encrypt_batch(
                 write_addrs, write_ctrs, b"".join(write_data), frames)
             assert ciphertext is not None  # functional mode, data present
@@ -324,56 +324,47 @@ class SecureMemoryController:
             ciphertext = b""
             write_macs = []
 
-        # Stage 3 — data-region NVM traffic, grouped into maximal
-        # consecutive same-direction runs (order between runs is op order,
-        # so an intra-segment read-after-write sees the fresh ciphertext).
-        read_blocks: dict[int, bytes] = {}
-        nvm_read = nvm.read
-        nvm_write = nvm.write
+        # Stage 3 — data-region NVM traffic.  The segment is fault-,
+        # wear-, and trace-free by construction (run_ops_batch
+        # eligibility), so the op-ordered run grouping collapses further:
+        # reads that precede any same-address write see the pre-segment
+        # backend and are issued as one arena read *before* the writes
+        # land as one arena write; a read of data written earlier in the
+        # segment is satisfied from the segment's own ciphertext — the
+        # backend holds identical bytes by the time the write phase has
+        # run, and the device still accounts one DATA read per request.
+        read_blocks: dict[int, bytes | memoryview] = {}
+        ct_view = memoryview(ciphertext)
+        pending: dict[int, memoryview] = {}
+        backend_reads: list[int] = []
+        served = 0
         wpos = 0
-        pos = 0
-        total = len(data_phase)
-        while pos < total:
-            is_write = data_phase[pos] >= 0
-            stop = pos
-            # Single-op runs (the common case under mixed traffic) skip the
-            # batch-call plumbing; the device defines its batch paths as
-            # per-element scalar issue, so accounting is identical.
-            if is_write:
-                while stop < total and data_phase[stop] >= 0:
-                    stop += 1
-                if stop - pos == 1:
-                    offset = wpos * CACHE_LINE_SIZE
-                    wpos += 1
-                    nvm_write(ops[data_phase[pos]][1],
-                              ciphertext[offset:offset + CACHE_LINE_SIZE],
-                              WriteKind.DATA)
-                else:
-                    items = []
-                    for i in range(pos, stop):
-                        offset = wpos * CACHE_LINE_SIZE
-                        wpos += 1
-                        items.append(
-                            (ops[data_phase[i]][1],
-                             ciphertext[offset:offset + CACHE_LINE_SIZE],
-                             WriteKind.DATA))
-                    nvm.write_batch(
-                        items, kind_counts={WriteKind.DATA: len(items)})
+        for entry in data_phase:
+            if entry >= 0:
+                offset = wpos * CACHE_LINE_SIZE
+                wpos += 1
+                pending[ops[entry][1]] = \
+                    ct_view[offset:offset + CACHE_LINE_SIZE]
             else:
-                while stop < total and data_phase[stop] < 0:
-                    stop += 1
-                if stop - pos == 1:
-                    op_index = ~data_phase[pos]
-                    read_blocks[op_index] = nvm_read(ops[op_index][1],
-                                                     ReadKind.DATA)
+                op_index = ~entry
+                block = pending.get(ops[op_index][1])
+                if block is None:
+                    backend_reads.append(op_index)
                 else:
-                    indices = [~data_phase[i] for i in range(pos, stop)]
-                    blocks = nvm.read_batch(
-                        [ops[op_index][1] for op_index in indices],
-                        ReadKind.DATA)
-                    for op_index, block_data in zip(indices, blocks):
-                        read_blocks[op_index] = block_data
-            pos = stop
+                    read_blocks[op_index] = block
+                    served += 1
+        if backend_reads:
+            arena = memoryview(nvm.read_arena(
+                [ops[op_index][1] for op_index in backend_reads],
+                ReadKind.DATA))
+            for pos, op_index in enumerate(backend_reads):
+                offset = pos * CACHE_LINE_SIZE
+                read_blocks[op_index] = \
+                    arena[offset:offset + CACHE_LINE_SIZE]
+        if served:
+            nvm.account_reads(ReadKind.DATA, served)
+        if write_addrs:
+            nvm.write_arena(write_addrs, ciphertext, WriteKind.DATA)
 
         # Stage 4 — MAC-region phase, in op order, with per-op MAC victim
         # drains (the scalar end-of-op drain's position in this region's
@@ -732,7 +723,7 @@ class SecureMemoryController:
                           for slot in slots]
         old_counters = [old.counter_for(slot) for slot in slots]
         new_counters = [new.counter_for(slot) for slot in slots]
-        buffer = b"".join(self.nvm.read_batch(line_addresses, ReadKind.DATA))
+        buffer = self.nvm.read_arena(line_addresses, ReadKind.DATA)
         plaintext = self.aes.decrypt_batch(line_addresses, old_counters,
                                            buffer)
         new_ct = self.aes.encrypt_batch(line_addresses, new_counters,
@@ -742,11 +733,8 @@ class SecureMemoryController:
             domain=MacDomain.DATA)
         for line_address, mac_value in zip(line_addresses, macs):
             self._store_data_mac(line_address, mac_value)
-        self.nvm.write_batch([
-            (line_address, new_ct[i * CACHE_LINE_SIZE:
-                                  (i + 1) * CACHE_LINE_SIZE],
-             WriteKind.DATA)
-            for i, line_address in enumerate(line_addresses)])
+        assert new_ct is not None  # batched segments are functional
+        self.nvm.write_arena(line_addresses, new_ct, WriteKind.DATA)
 
     # ------------------------------------------------------------------
     # Drain / recovery support

@@ -18,20 +18,43 @@ _CDF_CACHE: dict[tuple[int, float], tuple[list[float], float]] = {}
 Building the table is O(n) with a float power per key; a sweep that
 generates one trace per (workload, scheme, scale) cell re-derives the same
 table dozens of times.  Samplers only read the table (bisection), so every
-sampler over the same population shares one list."""
+sampler over the same population shares one list.
+
+The cache is a small LRU (:data:`CDF_CACHE_MAX` entries): each table is
+O(n) floats, so an unbounded dict grows without limit under a sweep over
+many populations.  Live samplers keep a direct reference to their table,
+so eviction never invalidates an existing sampler — it only means the next
+sampler over that population rebuilds the list (and no longer shares it
+with the pre-eviction ones)."""
+
+CDF_CACHE_MAX = 8
+"""Most-recently-used CDF tables kept alive; a sweep touches one or two
+populations at a time, so a handful of slots preserves all the sharing
+while bounding the cache to O(max * n) floats."""
 
 
 def _cdf_for(n: int, theta: float) -> tuple[list[float], float]:
     key = (n, theta)
     entry = _CDF_CACHE.get(key)
-    if entry is None:
-        cdf: list[float] = []
-        total = 0.0
-        for k in range(n):
-            total += 1.0 / ((k + 1) ** theta)
-            cdf.append(total)
-        entry = _CDF_CACHE[key] = (cdf, total)
+    if entry is not None:
+        # LRU touch: re-insertion order is recency order.
+        _CDF_CACHE[key] = _CDF_CACHE.pop(key)
+        return entry
+    cdf: list[float] = []
+    total = 0.0
+    for k in range(n):
+        total += 1.0 / ((k + 1) ** theta)
+        cdf.append(total)
+    entry = (cdf, total)
+    while len(_CDF_CACHE) >= CDF_CACHE_MAX:
+        del _CDF_CACHE[next(iter(_CDF_CACHE))]
+    _CDF_CACHE[key] = entry
     return entry
+
+
+def clear_cdf_cache() -> None:
+    """Drop every cached CDF table (tests; long-lived processes)."""
+    _CDF_CACHE.clear()
 
 
 class ZipfSampler:

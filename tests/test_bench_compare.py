@@ -1,0 +1,108 @@
+"""Unit tests for the perf-regression gate's compare logic.
+
+Regression tests for two silent-failure modes: a zero value in the
+baseline used to raise ZeroDivisionError (killing the gate instead of
+reporting), and a metric whose kind changed between baseline and current
+was compared on whichever fields the *current* kind named — the wrong
+field, in the wrong direction.
+"""
+
+import pytest
+
+from benchmarks.bench_compare import compare
+
+
+def _time(normalized: float) -> dict:
+    return {"kind": "time", "seconds": normalized * 2.0,
+            "normalized": normalized}
+
+
+def _ratio(value: float) -> dict:
+    return {"kind": "ratio", "value": value}
+
+
+def _run(metrics: dict) -> dict:
+    return {"metrics": metrics}
+
+
+class TestHealthyComparisons:
+    def test_within_threshold_passes(self):
+        lines, failures = compare(
+            _run({"replay": _ratio(3.0), "drain": _time(1.0)}),
+            _run({"replay": _ratio(2.9), "drain": _time(1.05)}),
+            threshold=0.15)
+        assert not failures
+        assert len(lines) == 2
+
+    def test_time_regression_fails(self):
+        _, failures = compare(
+            _run({"drain": _time(1.0)}),
+            _run({"drain": _time(1.5)}), threshold=0.15)
+        assert len(failures) == 1
+        assert "slowed down" in failures[0]
+
+    def test_ratio_regression_fails(self):
+        _, failures = compare(
+            _run({"replay": _ratio(3.0)}),
+            _run({"replay": _ratio(2.0)}), threshold=0.15)
+        assert len(failures) == 1
+        assert "dropped" in failures[0]
+
+    def test_one_sided_metrics_are_skipped(self):
+        lines, failures = compare(
+            _run({"old": _time(1.0)}),
+            _run({"new": _time(1.0)}), threshold=0.15)
+        assert not failures
+        assert all(line.startswith("SKIP") for line in lines)
+
+
+class TestZeroBaseline:
+    """A zero in the baseline is a malformed baseline, not a crash."""
+
+    def test_zero_baseline_ratio_fails_instead_of_dividing(self):
+        _, failures = compare(
+            _run({"replay": _ratio(0.0)}),
+            _run({"replay": _ratio(3.0)}), threshold=0.15)
+        assert len(failures) == 1
+        assert "malformed" in failures[0]
+
+    def test_zero_baseline_time_fails_instead_of_dividing(self):
+        _, failures = compare(
+            _run({"drain": _time(0.0)}),
+            _run({"drain": _time(1.0)}), threshold=0.15)
+        assert len(failures) == 1
+        assert "malformed" in failures[0]
+
+    def test_zero_baseline_never_raises(self):
+        baseline = _run({"a": _ratio(0.0), "b": _time(0.0)})
+        current = _run({"a": _ratio(0.0), "b": _time(0.0)})
+        lines, failures = compare(baseline, current, threshold=0.15)
+        assert len(failures) == 2  # still flagged: the baseline is broken
+        assert len(lines) == 2
+
+
+class TestKindMismatch:
+    def test_kind_change_is_a_failure_not_a_silent_compare(self):
+        _, failures = compare(
+            _run({"replay": _ratio(3.0)}),
+            _run({"replay": _time(1.0)}), threshold=0.15)
+        assert len(failures) == 1
+        assert "changed kind" in failures[0]
+
+    def test_kind_change_does_not_read_mismatched_fields(self):
+        # A ratio entry has no "normalized" field; before the guard this
+        # raised KeyError (or compared nonsense) depending on direction.
+        baseline = _run({"m": _time(1.0)})
+        current = _run({"m": _ratio(5.0)})
+        lines, failures = compare(baseline, current, threshold=0.15)
+        assert len(failures) == 1
+        assert lines[0].startswith("FAIL")
+
+    @pytest.mark.parametrize("direction", ["forward", "backward"])
+    def test_kind_change_fails_in_both_directions(self, direction):
+        a, b = _ratio(2.0), _time(1.0)
+        if direction == "backward":
+            a, b = b, a
+        _, failures = compare(
+            _run({"m": a}), _run({"m": b}), threshold=0.15)
+        assert failures

@@ -9,6 +9,7 @@ from repro.cache.fill import (
     sequential_addresses,
     strided_addresses,
     worst_case_addresses,
+    worst_case_addresses_bulk,
 )
 from repro.common.config import SystemConfig
 from repro.common.errors import ConfigError
@@ -100,3 +101,48 @@ class TestOtherPatterns:
         config = SystemConfig.scaled(512)
         with pytest.raises(ConfigError):
             list(strided_addresses(config.llc, 100))
+
+
+class TestWorstCaseAddressesBulk:
+    """The closed-form bulk fill vs the scalar generator spec."""
+
+    @pytest.mark.parametrize("scale", [512, 128, 16])
+    @pytest.mark.parametrize("level", ["l1", "l2", "llc"])
+    def test_bulk_equals_generator(self, scale, level):
+        config = SystemConfig.scaled(scale)
+        scalar_alloc = make_allocator(config)
+        bulk_alloc = make_allocator(config)
+        level_config = getattr(config, level)
+        expected = list(worst_case_addresses(level_config, scalar_alloc))
+        got = worst_case_addresses_bulk(level_config, bulk_alloc)
+        assert got == expected
+        assert bulk_alloc.used == scalar_alloc.used
+        assert bulk_alloc._taken == scalar_alloc._taken
+        assert bulk_alloc._next_free == scalar_alloc._next_free
+
+    def test_used_allocator_falls_back_and_stays_identical(self):
+        """A non-fresh allocator has cursors the closed form cannot
+        reconstruct; the bulk form must still match the generator."""
+        config = SystemConfig.scaled(128)
+        scalar_alloc = make_allocator(config)
+        bulk_alloc = make_allocator(config)
+        for allocator in (scalar_alloc, bulk_alloc):
+            allocator.allocate(0, 1)
+        assert not bulk_alloc.fresh
+        expected = list(worst_case_addresses(config.llc, scalar_alloc))
+        assert worst_case_addresses_bulk(config.llc, bulk_alloc) == expected
+        assert bulk_alloc._taken == scalar_alloc._taken
+
+    def test_pure_python_leg_matches(self, monkeypatch):
+        """REPRO_ARENA=0 (the numpy-less CI leg) produces the same fill."""
+        config = SystemConfig.scaled(128)
+        fast = worst_case_addresses_bulk(config.llc, make_allocator(config))
+        monkeypatch.setenv("REPRO_ARENA", "0")
+        pure = worst_case_addresses_bulk(config.llc, make_allocator(config))
+        assert pure == fast
+
+    def test_fresh_flag(self):
+        allocator = make_allocator(SystemConfig.scaled(128))
+        assert allocator.fresh
+        allocator.allocate()
+        assert not allocator.fresh

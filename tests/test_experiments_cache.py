@@ -216,3 +216,59 @@ class TestRunnerIntegration:
             names, scale=SCALE, jobs=2, cache=ResultCache(root=tmp_path))
         assert [r.to_dict() for r in warm] == [r.to_dict() for r in cold]
         assert profile.cached_records == len(profile.records)
+
+
+class TestCodeFingerprint:
+    """REPRO_CODE_FINGERPRINT selects between the fast local mtime mode
+    and the checkout-stable content-hash mode."""
+
+    def _source_file(self):
+        import repro
+        from pathlib import Path
+        return Path(repro.__file__).resolve().parent / "__init__.py"
+
+    def test_modes_produce_fingerprints(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CODE_FINGERPRINT", "mtime")
+        mtime_fp = code_version()
+        code_version.cache_clear()
+        monkeypatch.setenv("REPRO_CODE_FINGERPRINT", "content")
+        content_fp = code_version()
+        for fingerprint in (mtime_fp, content_fp):
+            assert len(fingerprint) == 16
+            int(fingerprint, 16)  # hex digest prefix
+
+    def test_content_mode_ignores_mtime_only_changes(self, monkeypatch):
+        import os
+        monkeypatch.setenv("REPRO_CODE_FINGERPRINT", "content")
+        before = code_version()
+        path = self._source_file()
+        stat = path.stat()
+        try:
+            os.utime(path, ns=(stat.st_atime_ns, stat.st_mtime_ns + 1000))
+            code_version.cache_clear()
+            assert code_version() == before
+        finally:
+            os.utime(path, ns=(stat.st_atime_ns, stat.st_mtime_ns))
+
+    def test_mtime_mode_sees_mtime_changes(self, monkeypatch):
+        import os
+        monkeypatch.setenv("REPRO_CODE_FINGERPRINT", "mtime")
+        before = code_version()
+        path = self._source_file()
+        stat = path.stat()
+        try:
+            os.utime(path, ns=(stat.st_atime_ns, stat.st_mtime_ns + 1000))
+            code_version.cache_clear()
+            assert code_version() != before
+        finally:
+            os.utime(path, ns=(stat.st_atime_ns, stat.st_mtime_ns))
+
+    def test_invalid_mode_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CODE_FINGERPRINT", "sideways")
+        with pytest.raises(ValueError, match="REPRO_CODE_FINGERPRINT"):
+            code_version()
+
+    def test_override_beats_mode(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CODE_FINGERPRINT", "sideways")
+        monkeypatch.setenv("REPRO_CODE_VERSION", "pinned")
+        assert code_version() == "pinned"

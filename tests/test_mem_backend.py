@@ -90,3 +90,47 @@ class TestAttackedLedger:
         memory.corrupt_block(0, b"\xff" * 64)
         memory.clear()
         assert memory.attacked_blocks == frozenset()
+
+
+class TestArenaIo:
+    """write_arena/read_arena vs the scalar write_block/read_block spec."""
+
+    def test_write_arena_matches_scalar_writes(self, memory):
+        addresses = [0, 4096, 64]
+        buffer = b"".join(bytes([i]) * 64 for i in range(3))
+        memory.write_arena(addresses, buffer)
+        for i, address in enumerate(addresses):
+            assert memory.read_block(address) == bytes([i]) * 64
+
+    def test_read_arena_matches_scalar_reads(self, memory):
+        memory.write_block(64, b"\x07" * 64)
+        out = memory.read_arena([0, 64, 128])
+        assert bytes(out) == bytes(64) + b"\x07" * 64 + bytes(64)
+
+    def test_round_trip(self, memory):
+        addresses = [4096 * i for i in range(4)]
+        buffer = bytes(range(256))
+        memory.write_arena(addresses, buffer)
+        assert bytes(memory.read_arena(addresses)) == buffer
+
+    def test_duplicate_addresses_last_write_wins(self, memory):
+        memory.write_arena([0, 0], b"\x01" * 64 + b"\x02" * 64)
+        assert memory.read_block(0) == b"\x02" * 64
+
+    def test_memoryview_buffer_accepted(self, memory):
+        memory.write_arena([0], memoryview(b"\x05" * 64))
+        assert memory.read_block(0) == b"\x05" * 64
+
+    def test_rejects_ragged_buffer(self, memory):
+        with pytest.raises(AddressError):
+            memory.write_arena([0, 64], bytes(100))
+
+    def test_validates_every_address_before_writing(self, memory):
+        with pytest.raises((AddressError, AlignmentError)):
+            memory.write_arena([0, 3], bytes(128))
+        # the valid prefix must not have landed
+        assert not memory.is_written(0)
+
+    def test_empty_batch(self, memory):
+        memory.write_arena([], b"")
+        assert bytes(memory.read_arena([])) == b""

@@ -52,3 +52,92 @@ class TestDataPath:
         device = NvmDevice(1 << 16, stats)
         device.write(0, bytes(64), WriteKind.DATA)
         assert stats.total_writes == 1
+
+
+class TestArenaIo:
+    """Grouped arena I/O: same image and stats as the scalar stream."""
+
+    def test_write_arena_single_kind(self, device):
+        addresses = [0, 4096]
+        device.write_arena(addresses, b"\x01" * 64 + b"\x02" * 64,
+                           WriteKind.DATA)
+        assert device.peek(0) == b"\x01" * 64
+        assert device.peek(4096) == b"\x02" * 64
+        assert device.stats.writes[WriteKind.DATA] == 2
+
+    def test_write_arena_per_element_kinds(self, device):
+        kinds = [WriteKind.CHV_DATA, WriteKind.CHV_METADATA]
+        device.write_arena([0, 64], bytes(128), kinds)
+        assert device.stats.writes[WriteKind.CHV_DATA] == 1
+        assert device.stats.writes[WriteKind.CHV_METADATA] == 1
+
+    def test_write_arena_kind_counts_fold(self, device):
+        device.write_arena([0, 64, 128], bytes(192), WriteKind.CHV_DATA,
+                           kind_counts={WriteKind.CHV_DATA: 2,
+                                        WriteKind.CHV_METADATA: 1})
+        assert device.stats.writes[WriteKind.CHV_DATA] == 2
+        assert device.stats.writes[WriteKind.CHV_METADATA] == 1
+
+    def test_write_arena_rejects_untyped_kind(self, device):
+        with pytest.raises(AddressError):
+            device.write_arena([0], bytes(64), "data")
+
+    def test_read_arena_accounts_and_reads(self, device):
+        device.write(64, b"\x09" * 64, WriteKind.DATA)
+        out = device.read_arena([0, 64], ReadKind.DATA)
+        assert bytes(out) == bytes(64) + b"\x09" * 64
+        assert device.stats.reads[ReadKind.DATA] == 2
+
+    def test_read_arena_rejects_untyped_kind(self, device):
+        with pytest.raises(AddressError):
+            device.read_arena([0], "data")
+
+    def test_grouped_io_reflects_side_channels(self, device):
+        assert device.grouped_io
+        device.trace = []
+        assert not device.grouped_io
+        device.trace = None
+        assert device.grouped_io
+
+    def test_write_arena_scalar_fallback_under_trace(self, device):
+        """With a trace attached the arena degrades to per-request scalar
+        issue, so the request log keeps one entry per block."""
+        device.trace = []
+        device.write_arena([0, 64], b"\x03" * 128, WriteKind.DATA)
+        out = device.read_arena([0, 64], ReadKind.DATA)
+        assert bytes(out) == b"\x03" * 128
+        assert device.trace == [(0, True), (64, True),
+                                (0, False), (64, False)]
+        assert device.stats.writes[WriteKind.DATA] == 2
+        assert device.stats.reads[ReadKind.DATA] == 2
+
+    def test_account_reads_counts_without_touching_backend(self, device):
+        device.account_reads(ReadKind.DATA, 5)
+        assert device.stats.reads[ReadKind.DATA] == 5
+
+    def test_account_reads_refused_under_trace(self, device):
+        device.trace = []
+        with pytest.raises(AddressError):
+            device.account_reads(ReadKind.DATA, 1)
+
+    def test_arena_equals_scalar_stream(self):
+        """Differential: one grouped arena write/read equals the scalar
+        per-block stream on image and stats."""
+        from repro.stats.counters import SimStats
+        addresses = [4096 * i for i in range(8)]
+        payload = b"".join(bytes([i]) * 64 for i in range(8))
+
+        grouped = NvmDevice(1 << 20, SimStats())
+        grouped.write_arena(addresses, payload, WriteKind.DATA)
+        grouped_out = bytes(grouped.read_arena(addresses, ReadKind.DATA))
+
+        scalar = NvmDevice(1 << 20, SimStats())
+        for i, address in enumerate(addresses):
+            scalar.write(address, payload[i * 64:(i + 1) * 64],
+                         WriteKind.DATA)
+        scalar_out = b"".join(
+            scalar.read(address, ReadKind.DATA) for address in addresses)
+
+        assert grouped_out == scalar_out
+        assert grouped.backend.image() == scalar.backend.image()
+        assert grouped.stats.snapshot() == scalar.stats.snapshot()

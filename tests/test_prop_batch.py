@@ -48,6 +48,16 @@ BATCH_COVERAGE = {
     "SecureMemoryController.run_ops_batch":
         "TestRunOpsEquivalence + oracle replay "
         "(repro.core.oracle.run_replay_differential)",
+    "BlockArena.from_blocks":
+        "tests/test_prop_arena.py::TestBlockArena (round-trip vs from_block)",
+    "NvmDevice.read_arena":
+        "oracle drain/recovery stats + tests/test_mem_nvm.py arena tests",
+    "NvmDevice.write_arena":
+        "oracle NVM image + tests/test_mem_nvm.py scalar-fallback tests",
+    "SparseMemory.read_arena":
+        "oracle NVM image + tests/test_mem_backend.py arena tests",
+    "SparseMemory.write_arena":
+        "oracle NVM image + tests/test_mem_backend.py arena tests",
 }
 
 keys = st.binary(min_size=1, max_size=64)

@@ -5,7 +5,12 @@ import pytest
 from repro.common.errors import ConfigError
 from repro.workloads.trace import OpKind, summarize
 from repro.workloads.ycsb import SCAN_LENGTH, ycsb_trace
-from repro.workloads.zipf import ZipfSampler
+from repro.workloads.zipf import (
+    _CDF_CACHE,
+    CDF_CACHE_MAX,
+    ZipfSampler,
+    clear_cdf_cache,
+)
 
 
 class TestZipfSampler:
@@ -53,6 +58,38 @@ class TestZipfSampler:
         second = ZipfSampler(333, theta=0.77, seed=99)
         assert first._cdf is second._cdf
         assert ZipfSampler(333, theta=0.99, seed=1)._cdf is not first._cdf
+
+    def test_cdf_cache_is_bounded_under_population_sweep(self):
+        """A sweep over many (n, theta) populations must not grow the CDF
+        cache without bound: at most CDF_CACHE_MAX tables stay alive."""
+        clear_cdf_cache()
+        try:
+            populations = [100 + n for n in range(3 * CDF_CACHE_MAX)]
+            for n in populations:
+                ZipfSampler(n, theta=0.99, seed=0)
+            assert len(_CDF_CACHE) <= CDF_CACHE_MAX
+            # The most recent populations survived the sweep, so sharing
+            # still works where it matters (repeat samplers over the
+            # current cell).
+            last = populations[-1]
+            assert ZipfSampler(last, theta=0.99, seed=1)._cdf \
+                is ZipfSampler(last, theta=0.99, seed=2)._cdf
+        finally:
+            clear_cdf_cache()
+        assert not _CDF_CACHE
+
+    def test_cdf_cache_touch_refreshes_recency(self):
+        """Re-using a population moves its table to the MRU slot, so a
+        steadily re-touched table survives a sweep of fresh ones."""
+        clear_cdf_cache()
+        try:
+            hot = ZipfSampler(4321, theta=0.5, seed=0)
+            for n in range(10, 10 + 2 * CDF_CACHE_MAX):
+                ZipfSampler(n, theta=0.5, seed=0)
+                ZipfSampler(4321, theta=0.5, seed=0)  # touch the hot table
+            assert ZipfSampler(4321, theta=0.5, seed=1)._cdf is hot._cdf
+        finally:
+            clear_cdf_cache()
 
     def test_shared_table_leaves_streams_identical(self):
         """Sharing the CDF cannot perturb draws: two same-seed samplers
