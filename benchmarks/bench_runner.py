@@ -50,6 +50,15 @@ REPLAY_ROUNDS = 3
 times both sides back to back, so background load lands on both and the
 min/min ratio stays honest."""
 
+SHARD_COUNT = 4
+"""Fleet size of the sharded-replay metric."""
+
+SHARD_OPS = 20_000
+"""Trace length of the sharded multi-tenant replay workload."""
+
+SHARD_TENANTS = 32
+"""Tenant count of the sharded replay's mix plan."""
+
 
 def _best_of(fn, repeats: int = REPEATS) -> float:
     best = float("inf")
@@ -168,6 +177,53 @@ def _paper_fill_walls(scheme: str) -> tuple[float, float, int]:
     return best[False], best[True], lines
 
 
+def _shard_walls(config: SystemConfig) -> tuple[float, float]:
+    """(solo, sharded) best wall seconds of one multi-tenant fleet replay.
+
+    Both sides run the identical per-controller work — the solo side
+    replays each shard's routed sub-trace on standalone systems keyed the
+    same way — so solo/sharded isolates the router + facade overhead as a
+    machine-independent ratio (1.0 = free routing; a drop means the routed
+    path got slower).  Rounds interleave the two sides like the replay
+    metric does.
+    """
+    from repro.core.system import SecureEpdSystem as Solo
+    from repro.sharding.keys import TenantKeyring
+    from repro.sharding.router import ShardRouter
+    from repro.sharding.system import ShardedSecureSystem, shard_key_schedules
+    from repro.workloads.replay import replay
+    from repro.workloads.tenantmix import TenantMixer, TenantMixPlan
+    from repro.mem.regions import MemoryLayout
+
+    router = ShardRouter(config, SHARD_COUNT)
+    plan = TenantMixPlan(
+        num_tenants=SHARD_TENANTS, total_ops=SHARD_OPS,
+        data_size=MemoryLayout(config).data.size * SHARD_COUNT,
+        master_seed=87)
+    keyring = TenantKeyring(plan.extents())
+    mix = TenantMixer(plan).mix()
+    parts = router.split(mix)
+    schedules = shard_key_schedules(router, keyring, "horus-dlm")
+
+    best = {"solo": float("inf"), "sharded": float("inf")}
+    for _ in range(REPLAY_ROUNDS):
+        solos = [Solo(config, scheme="horus-dlm", key_schedule=schedule)
+                 for schedule in schedules]
+        start = time.perf_counter()
+        for system, part in zip(solos, parts):
+            if part:
+                replay(system, part)
+        best["solo"] = min(best["solo"], time.perf_counter() - start)
+
+        fleet = ShardedSecureSystem(config, num_shards=SHARD_COUNT,
+                                    scheme="horus-dlm", keyring=keyring)
+        start = time.perf_counter()
+        fleet.replay(mix)
+        best["sharded"] = min(best["sharded"],
+                              time.perf_counter() - start)
+    return best["solo"], best["sharded"]
+
+
 def _fig14_wall() -> float:
     from repro.experiments.fig14_15_llc_sweep import run_fig14
     from repro.experiments.suite import DrainSuite
@@ -225,6 +281,16 @@ def run_benchmarks() -> dict:
     }
     metrics["fill:horus-dlm:paper-speedup"] = {
         "kind": "ratio", "value": paper_scalar / paper_batched,
+    }
+
+    solo_shard, sharded = _shard_walls(config)
+    metrics[f"shard:{SHARD_COUNT}:replay"] = {
+        "kind": "time", "seconds": sharded,
+        "normalized": sharded / calibration,
+        "ops_per_second": SHARD_OPS / sharded,
+    }
+    metrics[f"shard:{SHARD_COUNT}:efficiency"] = {
+        "kind": "ratio", "value": solo_shard / sharded,
     }
 
     recovery_s = _recovery_wall("horus-dlm", True, config)

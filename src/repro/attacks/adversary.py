@@ -58,6 +58,28 @@ class Adversary:
         self._backend.corrupt_block(address_a, b)
         self._backend.corrupt_block(address_b, a)
 
+    def graft(self, address: int, content: bytes,
+              offset: int = 0) -> bytes:
+        """Transplant a byte span into a block, leaving the rest intact.
+
+        The surgical form of :meth:`spoof` for packed metadata: MAC and
+        counter blocks hold many slots per 64 B line, and a cross-tenant
+        transplant must move exactly one victim slot without disturbing its
+        neighbours (whose MACs are still authentic).  Returns the original
+        block content.
+        """
+        if not content:
+            raise AddressError("graft content must be non-empty")
+        if not 0 <= offset <= CACHE_LINE_SIZE - len(content):
+            raise AddressError(
+                f"graft span [{offset}, {offset + len(content)}) out of "
+                f"block")
+        original = self._backend.read_block(address)
+        mutated = bytearray(original)
+        mutated[offset:offset + len(content)] = content
+        self._backend.corrupt_block(address, bytes(mutated))
+        return original
+
     def mark(self, address: int) -> bytes:
         """Remember a block's current content as a rollback point.
 

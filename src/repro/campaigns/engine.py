@@ -57,10 +57,11 @@ from repro.campaigns.scenarios import (
     variant_name,
 )
 from repro.common.config import SystemConfig
-from repro.common.constants import CACHE_LINE_SIZE
+from repro.common.constants import CACHE_LINE_SIZE, MAC_SIZE
 from repro.common.errors import ConfigError, IntegrityError, RecoveryError
 from repro.core.chv import MAC_GROUP_DLM, MAC_GROUP_SLM, ChvLayout, VaultRotation
 from repro.core.system import SecureEpdSystem
+from repro.sharding.keys import TenantExtent, TenantKeyring, TenantKeySchedule
 from repro.experiments.cache import ResultCache, campaign_cell_key
 from repro.faults.plan import (
     AdversaryAt,
@@ -93,9 +94,50 @@ _SPOOF_PAYLOAD = bytes((0xA5 ^ (i * 29)) & 0xFF for i in range(CACHE_LINE_SIZE))
 # Fill / episode machinery (moved from repro.faults.matrix)
 # ---------------------------------------------------------------------------
 
-def _build(config: SystemConfig, scheme: str,
-           rotate_vault: bool) -> SecureEpdSystem:
-    return SecureEpdSystem(config, scheme=scheme, rotate_vault=rotate_vault)
+def _build(config: SystemConfig, scheme: str, rotate_vault: bool,
+           tenants: "tuple[TenantExtent, ...] | None" = None
+           ) -> SecureEpdSystem:
+    """One campaign system; ``tenants`` installs per-tenant key domains."""
+    key_schedule = None
+    if tenants is not None and scheme != "nosec":
+        key_schedule = TenantKeySchedule(TenantKeyring(tenants))
+    return SecureEpdSystem(config, scheme=scheme, rotate_vault=rotate_vault,
+                           key_schedule=key_schedule)
+
+
+def campaign_tenants(lines: int) -> tuple[TenantExtent, ...]:
+    """The tenant-splice cells' two-tenant split of the filled range."""
+    half = (lines // 2) * _FILL_STRIDE
+    return (TenantExtent(0, 0, half),
+            TenantExtent(1, half, (lines - lines // 2) * _FILL_STRIDE))
+
+
+def _tenant_splice_attack(system: SecureEpdSystem, adversary: Adversary,
+                          victim: int, pair: int) -> Callable[[], None]:
+    """Transplant tenant A's block into tenant B's range (and vice versa).
+
+    Swaps the two data blocks *and* their 8-byte MAC slots, so what lands
+    in each range is an internally-consistent (ciphertext, MAC) pair that
+    authentically belongs to the other tenant — the strongest relocation an
+    off-chip attacker can stage without breaking a MAC.  Per-tenant keys
+    (and the MAC's address binding) are what must reject it.
+    """
+
+    def attack() -> None:
+        layout = system.layout
+        adversary.splice(victim, pair)
+        mac_victim = layout.mac_block_address(victim)
+        mac_pair = layout.mac_block_address(pair)
+        offset_victim = layout.mac_slot(victim) * MAC_SIZE
+        offset_pair = layout.mac_slot(pair) * MAC_SIZE
+        slot_victim = adversary.observe(mac_victim)[
+            offset_victim:offset_victim + MAC_SIZE]
+        slot_pair = adversary.observe(mac_pair)[
+            offset_pair:offset_pair + MAC_SIZE]
+        adversary.graft(mac_victim, slot_pair, offset_victim)
+        adversary.graft(mac_pair, slot_victim, offset_pair)
+
+    return attack
 
 
 def _pattern(address: int) -> bytes:
@@ -529,13 +571,21 @@ def _run_attack_episode(config: SystemConfig, scheme: str,
     """One adversarial cell: the full episode with the attack at ``window``."""
     if lines < 4:
         raise ConfigError("attack cells need at least 4 lines")
-    system = _build(config, scheme, rotate_vault)
+    tenant_cell = scenario.target == "tenant"
+    system = _build(config, scheme, rotate_vault,
+                    tenants=campaign_tenants(lines) if tenant_cell else None)
     adversary = Adversary(system.nvm)
-    victim = (lines // 2) * _FILL_STRIDE
-    pair = (lines // 2 + 1) * _FILL_STRIDE
-    targets = ((0, 0) if scenario.target == "chv"
-               else _attack_targets(system, scenario.target or "data",
-                                    victim, pair))
+    if tenant_cell:
+        # Victim in tenant 0's half, pair in tenant 1's half.
+        victim = (lines // 4) * _FILL_STRIDE
+        pair = (lines // 2 + lines // 4) * _FILL_STRIDE
+        targets = (victim, pair)
+    else:
+        victim = (lines // 2) * _FILL_STRIDE
+        pair = (lines // 2 + 1) * _FILL_STRIDE
+        targets = ((0, 0) if scenario.target == "chv"
+                   else _attack_targets(system, scenario.target or "data",
+                                        victim, pair))
     # Rollback point: the pre-episode content of the primary target.
     adversary.mark(targets[0])
 
@@ -555,8 +605,12 @@ def _run_attack_episode(config: SystemConfig, scheme: str,
             stale = adversary.snapshot(targets[0])
         system.recover()
 
-    attack = _make_attack(system, adversary, scenario, rotate_vault,
-                          targets, stale, during_drain=window == MID_DRAIN)
+    if tenant_cell:
+        attack = _tenant_splice_attack(system, adversary, victim, pair)
+    else:
+        attack = _make_attack(system, adversary, scenario, rotate_vault,
+                              targets, stale,
+                              during_drain=window == MID_DRAIN)
 
     # A mid-replay attack can be caught *at run time*: once the tampered
     # block is re-fetched by a later op of the same epoch, the controller

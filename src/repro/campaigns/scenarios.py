@@ -29,8 +29,9 @@ FAULT_CLASSES = ("power-cut", "torn-write", "dropped-write", "bit-flip")
 ATTACK_ACTIONS = ("tamper", "spoof", "splice", "replay", "rollback")
 """Adversary verbs (Section IV-A threat model)."""
 
-ATTACK_TARGETS = ("data", "mac", "counter", "chv", "shadow")
-"""Block kinds an attack can aim at."""
+ATTACK_TARGETS = ("data", "mac", "counter", "chv", "shadow", "tenant")
+"""Block kinds an attack can aim at (``tenant`` = cross-tenant transplant:
+one tenant's ciphertext *and* MAC slot moved into another tenant's range)."""
 
 MID_REPLAY = "mid-replay"
 """During the replay epoch (run time), before the crash."""
@@ -88,6 +89,9 @@ DEFAULT_SCENARIOS: tuple[Scenario, ...] = (
     # Splicing: swap two authentic blocks (relocation).
     Scenario("splice", "data"),
     Scenario("splice", "chv"),
+    # Cross-tenant transplant: tenant A's ciphertext + MAC slot grafted
+    # into tenant B's range (runs under per-tenant key schedules).
+    Scenario("splice", "tenant"),
     # Replay: re-inject stale-but-authentic content from a *previous*
     # episode (what the persistent drain counters exist to catch).
     Scenario("replay", "data"),
@@ -100,7 +104,7 @@ DEFAULT_SCENARIOS: tuple[Scenario, ...] = (
     Scenario("dropped-write"),
     Scenario("bit-flip"),
 )
-"""The default 12-attack + 4-fault scenario set (a 560-combination
+"""The default 13-attack + 4-fault scenario set (a 595-combination
 lattice over the seven scheme variants and five windows)."""
 
 
@@ -125,6 +129,8 @@ def applicability(scheme: str, scenario: Scenario,
     target = scenario.target
     if target in ("mac", "counter") and scheme == "nosec":
         return "nosec keeps no MAC/counter metadata to attack"
+    if target == "tenant" and scheme == "nosec":
+        return "nosec has no MACs for per-tenant keys to separate"
     if target == "chv":
         if not scheme.startswith("horus"):
             return "only Horus schemes keep a CHV"

@@ -5,6 +5,7 @@ Subcommands::
     python -m repro info        [--scale N]             # config & layout
     python -m repro simulate    [--scheme S] [--scale N]  # drain + recovery
     python -m repro audit       [--scale N] [--tamper ADDR]
+    python -m repro shards      [--shards N] [--jobs N]  # sharded fleet run
     python -m repro experiments [runner args...]        # regenerate figures
 
 ``python -m repro`` with no subcommand runs the experiment runner, which is
@@ -18,6 +19,7 @@ import argparse
 import sys
 
 from repro.common.config import SystemConfig
+from repro.common.rng import spread_seed
 from repro.common.units import format_bytes
 from repro.core.analytic import horus_drain_seconds
 from repro.core.system import SCHEMES, SecureEpdSystem
@@ -25,7 +27,7 @@ from repro.mem.regions import MemoryLayout
 from repro.stats.hitrate import hit_rate_rows
 from repro.stats.report import format_table
 
-SUBCOMMANDS = ("info", "simulate", "audit", "experiments")
+SUBCOMMANDS = ("info", "simulate", "audit", "shards", "experiments")
 
 
 def cmd_info(args) -> int:
@@ -55,7 +57,7 @@ def cmd_simulate(args) -> int:
     config = SystemConfig.scaled(args.scale)
     system = SecureEpdSystem(config, scheme=args.scheme)
     filled = system.fill_worst_case(seed=args.seed)
-    report = system.crash(seed=args.seed + 1)
+    report = system.crash(seed=spread_seed(args.seed, "drain"))
     print(f"scheme {args.scheme}: drained {filled:,} worst-case lines")
     print(format_table(
         ["metric", "value"],
@@ -101,6 +103,43 @@ def cmd_audit(args) -> int:
     return 0 if report.clean else 1
 
 
+def cmd_shards(args) -> int:
+    from repro.sharding.drain import make_drain_policy
+    from repro.sharding.pool import (
+        make_plan,
+        run_pooled,
+        ShardRunSpec,
+    )
+
+    config = SystemConfig.scaled(args.scale)
+    plan = make_plan(config, args.shards, args.tenants, args.ops,
+                     master_seed=args.seed)
+    spec = ShardRunSpec(
+        config=config, num_shards=args.shards, scheme=args.scheme,
+        plan=plan, drain_seed=spread_seed(args.seed, "drain"),
+        drain_policy=args.drain_policy, power_budget_w=args.power_budget)
+    results = run_pooled(spec, jobs=args.jobs)
+    print(f"fleet: {args.shards} shards x {args.scheme}, "
+          f"{args.tenants} tenants, {args.ops:,} ops "
+          f"(policy {args.drain_policy})")
+    print(format_table(
+        ["shard", "ops", "reads", "writes", "drain ms", "drain J",
+         "nvm sha256"],
+        [[r.observables.shard, r.observables.ops, r.observables.op_reads,
+          r.observables.op_writes, r.drain_seconds * 1e3,
+          r.drain_energy_j, r.observables.nvm_sha256[:16]]
+         for r in results]))
+    schedule = make_drain_policy(args.drain_policy, args.power_budget) \
+        .schedule_measured([(r.drain_seconds, r.drain_energy_j)
+                            for r in results])
+    total_ops = sum(r.observables.ops for r in results)
+    print(f"\nfleet totals: {total_ops:,} routed ops, "
+          f"{schedule.energy_j:.4f} J drain energy, "
+          f"{schedule.milliseconds:.3f} ms {schedule.policy} drain wall "
+          f"at {schedule.peak_power_w:.2f} W peak")
+    return 0 if total_ops == args.ops else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     # No subcommand (or a runner flag/experiment name): run the experiments.
@@ -130,6 +169,23 @@ def main(argv: list[str] | None = None) -> int:
     audit.add_argument("--blocks", type=int, default=16)
     audit.add_argument("--tamper", type=lambda v: int(v, 0), default=None)
     audit.set_defaults(func=cmd_audit)
+
+    shards = sub.add_parser(
+        "shards", help="multi-tenant fleet across controller shards")
+    shards.add_argument("--shards", type=int, default=4)
+    shards.add_argument("--scheme", choices=SCHEMES, default="horus-dlm")
+    shards.add_argument("--scale", type=int, default=128)
+    shards.add_argument("--tenants", type=int, default=32)
+    shards.add_argument("--ops", type=int, default=4096)
+    shards.add_argument("--seed", type=int, default=1)
+    shards.add_argument("--jobs", type=int, default=None,
+                        help="pool workers (default: one per shard)")
+    from repro.sharding.drain import DRAIN_POLICIES
+    shards.add_argument("--drain-policy", choices=DRAIN_POLICIES,
+                        default="simultaneous")
+    shards.add_argument("--power-budget", type=float, default=None,
+                        help="watt cap for --drain-policy budgeted")
+    shards.set_defaults(func=cmd_shards)
 
     args = parser.parse_args(argv)
     return args.func(args)

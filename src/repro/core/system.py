@@ -28,6 +28,7 @@ from repro.core.chv import ChvLayout
 from repro.core.horus import HorusDrainEngine
 from repro.core.recovery import HorusRecovery, RecoveryReport
 from repro.crypto.batch import batching_enabled
+from repro.crypto.engine import KeySchedule
 from repro.crypto.counters import DrainCounter
 from repro.epd.baseline import BaselineSecureDrain
 from repro.epd.drain import DrainEngine, DrainReport, NonSecureDrain
@@ -50,7 +51,8 @@ class SecureEpdSystem:
     def __init__(self, config: SystemConfig | None = None,
                  scheme: str = "horus-dlm", recovery_mode: str = "refill",
                  inclusive: bool = True, osiris_stop_loss: int = 0,
-                 rotate_vault: bool = False, batched: bool | None = None):
+                 rotate_vault: bool = False, batched: bool | None = None,
+                 key_schedule: "KeySchedule | None" = None):
         if scheme not in SCHEMES:
             raise ConfigError(
                 f"unknown scheme {scheme!r}; expected one of {SCHEMES}")
@@ -102,7 +104,8 @@ class SecureEpdSystem:
                 runtime_scheme = "eager" if scheme == "base-eu" else "lazy"
             self.controller = SecureMemoryController(
                 self.config, self.nvm, self.layout, self.stats,
-                scheme=runtime_scheme, batched=self.batched)
+                scheme=runtime_scheme, batched=self.batched,
+                key_schedule=key_schedule)
             self.hierarchy.attach(self.controller.read, self.controller.write)
             if scheme.startswith("base"):
                 self.drain_engine = BaselineSecureDrain(

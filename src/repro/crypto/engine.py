@@ -7,6 +7,7 @@ and (b) an optional non-functional mode where values are not actually computed
 """
 
 from collections.abc import Sequence
+from typing import Protocol
 
 from repro.common.constants import CACHE_LINE_SIZE, MAC_SIZE
 from repro.crypto import batch
@@ -27,6 +28,26 @@ _DIGEST_DOMAINS = {MacKind.CHV_LEVEL2: MacDomain.CHV_LEVEL2}
 
 DEFAULT_AES_KEY = b"repro-horus-aes-key-0001"
 DEFAULT_MAC_KEY = b"repro-horus-mac-key-0001"
+
+
+def block_domain(kind: MacKind, domain: MacDomain | None) -> MacDomain:
+    """Resolve a block-MAC call's protection domain from its ``kind``.
+
+    Compute sites inherit the domain from ``kind`` (``MacKind.CHV_DATA`` →
+    the CHV domain, everything else the run-time data domain); verify sites
+    pass ``domain`` explicitly.  Public so keyed engine subclasses resolve
+    domains identically to the base engine.
+    """
+    if domain is not None:
+        return domain
+    return _BLOCK_DOMAINS.get(kind, MacDomain.DATA)
+
+
+def digest_domain(kind: MacKind, domain: MacDomain | None) -> MacDomain:
+    """Resolve a digest-MAC call's domain (``CHV_LEVEL2`` → DLM level 2)."""
+    if domain is not None:
+        return domain
+    return _DIGEST_DOMAINS.get(kind, MacDomain.NODE)
 
 
 class AesEngine:
@@ -106,10 +127,9 @@ class MacEngine:
         self._stats.record_mac(kind)
         if not self.functional or ciphertext is None:
             return _PLACEHOLDER_MAC
-        if domain is None:
-            domain = _BLOCK_DOMAINS.get(kind, MacDomain.DATA)
         return compute_mac(self._key, ciphertext, int_field(address),
-                           int_field(counter, 16), domain=domain)
+                           int_field(counter, 16),
+                           domain=block_domain(kind, domain))
 
     def node_mac(self, kind: MacKind, content: bytes | None,
                  address: int) -> bytes:
@@ -131,9 +151,8 @@ class MacEngine:
         self._stats.record_mac(kind)
         if not self.functional or content is None:
             return _PLACEHOLDER_MAC
-        if domain is None:
-            domain = _DIGEST_DOMAINS.get(kind, MacDomain.NODE)
-        return compute_mac(self._key, content, domain=domain)
+        return compute_mac(self._key, content,
+                           domain=digest_domain(kind, domain))
 
     def block_mac_batch(self, kind: MacKind,
                         buffer: bytes | bytearray | memoryview | None,
@@ -152,10 +171,9 @@ class MacEngine:
         self._stats.record_mac(kind, count)
         if not self.functional or buffer is None:
             return [_PLACEHOLDER_MAC] * count
-        if domain is None:
-            domain = _BLOCK_DOMAINS.get(kind, MacDomain.DATA)
         return batch.compute_block_macs(self._key, buffer, addresses,
-                                        counters, domain, frames)
+                                        counters, block_domain(kind, domain),
+                                        frames)
 
     def digest_mac_batch(self, kind: MacKind,
                          contents: Sequence[bytes | memoryview] | None,
@@ -165,17 +183,34 @@ class MacEngine:
         self._stats.record_mac(kind, count)
         if not self.functional or contents is None:
             return [_PLACEHOLDER_MAC] * count
-        if domain is None:
-            domain = _DIGEST_DOMAINS.get(kind, MacDomain.NODE)
         return batch.compute_macs(self._key,
                                   ((content,) for content in contents),
-                                  domain=domain)
+                                  domain=digest_domain(kind, domain))
 
     def verify_equal(self, expected: bytes, actual: bytes) -> bool:
         """Compare MACs; in non-functional mode everything verifies."""
         if not self.functional:
             return True
         return expected == actual
+
+
+class KeySchedule(Protocol):
+    """Factory for the engine pair a secure controller runs on.
+
+    The controller builds its engines at construction time and downstream
+    components (the Horus drain engine in particular) capture direct
+    references to them, so alternate keying — per-tenant key domains, key
+    rotation studies — must be injected *before* the controller wires
+    itself up.  Anything with this shape can be passed as the
+    ``key_schedule`` of :class:`~repro.core.system.SecureEpdSystem` /
+    :class:`~repro.secure.controller.SecureMemoryController`; the default
+    (``None``) is the plain master-keyed pair.
+    """
+
+    def build(self, stats: SimStats,
+              functional: bool) -> "tuple[AesEngine, MacEngine]":
+        """Return the (AES engine, MAC engine) pair for one controller."""
+        ...
 
 
 def zero_block() -> bytes:

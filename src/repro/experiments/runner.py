@@ -38,6 +38,7 @@ from repro.experiments.availability import run as run_availability
 from repro.experiments.parallelism import run as run_parallelism
 from repro.experiments.runtime_overhead import run as run_runtime
 from repro.experiments.scheduling import run as run_scheduling
+from repro.experiments.sharding import run as run_sharding
 from repro.experiments.wear import run as run_wear
 from repro.experiments.fig06_motivation import run as run_fig6
 from repro.experiments.headline import run as run_headline
@@ -84,6 +85,7 @@ EXPERIMENTS: dict[str, Callable[[DrainSuite], ExperimentResult]] = {
     "ablation-scheduler": run_scheduling,
     "ablation-faults": run_faults,
     "ablation-campaigns": run_campaigns,
+    "ablation-shards": run_sharding,
 }
 
 _ALL_SCHEMES = ("nosec", "base-lu", "base-eu", "horus-slm", "horus-dlm")
@@ -114,6 +116,7 @@ EXPERIMENT_EPISODES: dict[str, tuple[tuple[str, int | None], ...]] = {
     "ablation-scheduler": (),
     "ablation-faults": (),
     "ablation-campaigns": (),
+    "ablation-shards": (),
 }
 
 

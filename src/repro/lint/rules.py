@@ -29,6 +29,7 @@ SIM_PACKAGES = (
     "repro.cache",
     "repro.faults",
     "repro.campaigns",
+    "repro.sharding",
 )
 """The deterministic simulator core: every observable these packages produce
 must be a pure function of (config, seeds, code version)."""

@@ -27,7 +27,7 @@ from repro.common.errors import ConfigError, IntegrityError
 from repro.crypto.arena import frame_buffer
 from repro.crypto.batch import batching_enabled
 from repro.crypto.counters import SplitCounterBlock
-from repro.crypto.engine import AesEngine, MacEngine
+from repro.crypto.engine import AesEngine, KeySchedule, MacEngine
 from repro.crypto.primitives import MacDomain
 from repro.mem.nvm import NvmDevice
 from repro.mem.regions import MemoryLayout
@@ -47,7 +47,8 @@ class SecureMemoryController:
     def __init__(self, config: SystemConfig, nvm: NvmDevice,
                  layout: MemoryLayout, stats: SimStats,
                  scheme: str | UpdateScheme = "lazy",
-                 batched: bool | None = None):
+                 batched: bool | None = None,
+                 key_schedule: KeySchedule | None = None):
         self._config = config
         self.nvm = nvm
         self.layout = layout
@@ -57,8 +58,14 @@ class SecureMemoryController:
         self.scheme = (scheme if isinstance(scheme, UpdateScheme)
                        else make_scheme(scheme))
 
-        self.aes = AesEngine(stats, functional=self.functional)
-        self.mac = MacEngine(stats, functional=self.functional)
+        # Engines must be final before any downstream component (the Horus
+        # drain engine captures them at construction), so alternate keying
+        # is injected here rather than swapped in afterwards.
+        if key_schedule is None:
+            self.aes = AesEngine(stats, functional=self.functional)
+            self.mac = MacEngine(stats, functional=self.functional)
+        else:
+            self.aes, self.mac = key_schedule.build(stats, self.functional)
         self._defaults = DefaultNodes(self.mac._key, layout.num_tree_levels)
 
         sec = config.security

@@ -1,0 +1,223 @@
+"""Cross-shard drain scheduling under a shared hold-up power budget.
+
+One drain episode per shard is fixed by that shard's scheme and dirty state;
+the fleet-level question is *when* each shard's episode runs.  The hold-up
+source (super-caps, battery) has a peak-power rating as well as an energy
+rating, so the policies trade wall time against peak draw:
+
+``simultaneous``
+    Every shard drains at once: wall time is the slowest shard, peak power
+    is the whole fleet's sum — the biggest hold-up source, the shortest
+    outage window.
+``staggered``
+    Shards drain one after another in shard order: peak power is one
+    shard's draw, wall time is the sum — the smallest hold-up source.
+``budgeted``
+    Greedy schedule under an explicit watt cap: shards start in order as
+    soon as headroom allows, interpolating between the two extremes.
+
+Policies only *schedule* the already-measured per-shard reports — they never
+change what a shard drains — so per-shard drain observables are invariant
+across policies (asserted by the drain-policy test battery).  Per-shard
+power is the episode's average draw (energy over duration), matching the
+Section V-G energy model the per-shard breakdowns come from.
+"""
+
+import heapq
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+from repro.energy.model import EnergyBreakdown
+from repro.epd.drain import DrainReport
+
+DRAIN_POLICIES = ("simultaneous", "staggered", "budgeted")
+
+_EPS = 1e-9
+"""Relative slack for float power comparisons in the greedy scheduler."""
+
+
+def shard_power_w(report: DrainReport, energy: EnergyBreakdown) -> float:
+    """One shard's average drain draw: episode energy over episode time."""
+    return _power_w(report.seconds, energy.total_j)
+
+
+def _power_w(seconds: float, energy_j: float) -> float:
+    if seconds <= 0.0:
+        return 0.0
+    return energy_j / seconds
+
+
+@dataclass(frozen=True)
+class DrainSlot:
+    """One shard's scheduled drain window."""
+
+    shard: int
+    start_s: float
+    seconds: float
+    power_w: float
+    energy_j: float
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.seconds
+
+
+@dataclass(frozen=True)
+class DrainSchedule:
+    """The fleet-level outcome of one coordinated drain."""
+
+    policy: str
+    slots: tuple[DrainSlot, ...]
+    wall_seconds: float
+    peak_power_w: float
+    energy_j: float
+
+    @property
+    def milliseconds(self) -> float:
+        return self.wall_seconds * 1e3
+
+
+def _finish(policy: str, slots: Sequence[DrainSlot]) -> DrainSchedule:
+    """Assemble a schedule, measuring peak power with an event sweep."""
+    events: list[tuple[float, float]] = []
+    for slot in slots:
+        if slot.seconds > 0.0 and slot.power_w > 0.0:
+            events.append((slot.start_s, slot.power_w))
+            events.append((slot.end_s, -slot.power_w))
+    events.sort()
+    peak = 0.0
+    level = 0.0
+    for _, delta in events:
+        level += delta
+        peak = max(peak, level)
+    return DrainSchedule(
+        policy=policy,
+        slots=tuple(slots),
+        wall_seconds=max((slot.end_s for slot in slots), default=0.0),
+        peak_power_w=peak,
+        energy_j=sum(slot.energy_j for slot in slots),
+    )
+
+
+class DrainPolicy(ABC):
+    """Base policy: maps per-shard (seconds, joules) episodes to a schedule.
+
+    :meth:`schedule_measured` is the core — it needs only each shard's
+    episode duration and energy, so process-pool results (which carry bare
+    measurements, not report objects) schedule exactly like in-process
+    runs.  :meth:`schedule` is the report-level convenience wrapper.
+    """
+
+    name = "abstract"
+
+    def schedule(self, reports: Sequence[DrainReport],
+                 energies: Sequence[EnergyBreakdown]) -> DrainSchedule:
+        """Schedule the fleet's drain slots from the measured episodes."""
+        if len(reports) != len(energies):
+            raise ConfigError(
+                f"got {len(reports)} drain reports but {len(energies)} "
+                f"energy breakdowns")
+        return self.schedule_measured(
+            [(report.seconds, energy.total_j)
+             for report, energy in zip(reports, energies)])
+
+    def schedule_measured(
+            self, episodes: "Sequence[tuple[float, float]]") -> DrainSchedule:
+        """Schedule from bare per-shard (seconds, energy_j) measurements."""
+        return self._schedule(episodes)
+
+    @abstractmethod
+    def _schedule(
+            self, episodes: "Sequence[tuple[float, float]]") -> DrainSchedule:
+        """Policy-specific slot placement."""
+
+
+class SimultaneousDrain(DrainPolicy):
+    """All shards drain at once (wall = max, peak = sum)."""
+
+    name = "simultaneous"
+
+    def _schedule(
+            self, episodes: "Sequence[tuple[float, float]]") -> DrainSchedule:
+        slots = [
+            DrainSlot(shard, 0.0, seconds, _power_w(seconds, energy_j),
+                      energy_j)
+            for shard, (seconds, energy_j) in enumerate(episodes)]
+        return _finish(self.name, slots)
+
+
+class StaggeredDrain(DrainPolicy):
+    """Shards drain strictly one after another (wall = sum, peak = max)."""
+
+    name = "staggered"
+
+    def _schedule(
+            self, episodes: "Sequence[tuple[float, float]]") -> DrainSchedule:
+        slots = []
+        clock = 0.0
+        for shard, (seconds, energy_j) in enumerate(episodes):
+            slots.append(DrainSlot(shard, clock, seconds,
+                                   _power_w(seconds, energy_j), energy_j))
+            clock += seconds
+        return _finish(self.name, slots)
+
+
+class BudgetedDrain(DrainPolicy):
+    """Greedy in-order scheduling under an aggregate watt cap.
+
+    Each shard starts as soon as running drains have released enough of the
+    budget; with a cap at or above the fleet's summed draw this degenerates
+    to ``simultaneous``, and with a cap of one shard's draw to
+    ``staggered``.
+    """
+
+    name = "budgeted"
+
+    def __init__(self, budget_w: float):
+        if budget_w <= 0.0:
+            raise ConfigError(
+                f"power budget must be positive, got {budget_w}")
+        self.budget_w = budget_w
+
+    def _schedule(
+            self, episodes: "Sequence[tuple[float, float]]") -> DrainSchedule:
+        slack = self.budget_w * _EPS
+        slots = []
+        running: list[tuple[float, float]] = []
+        clock = 0.0
+        level = 0.0
+        for shard, (seconds, energy_j) in enumerate(episodes):
+            power = _power_w(seconds, energy_j)
+            if power > self.budget_w + slack:
+                raise ConfigError(
+                    f"shard {shard} draws {power:.3f} W alone, over the "
+                    f"{self.budget_w:.3f} W budget — no schedule exists")
+            while running and (level + power > self.budget_w + slack
+                               or running[0][0] <= clock):
+                end, released = heapq.heappop(running)
+                clock = max(clock, end)
+                level -= released
+            slots.append(DrainSlot(shard, clock, seconds, power, energy_j))
+            heapq.heappush(running, (clock + seconds, power))
+            level += power
+        return _finish(self.name, slots)
+
+
+def make_drain_policy(policy: "str | DrainPolicy",
+                      budget_w: float | None = None) -> DrainPolicy:
+    """Resolve a policy by name (``budget_w`` required for ``budgeted``)."""
+    if isinstance(policy, DrainPolicy):
+        return policy
+    if policy == "simultaneous":
+        return SimultaneousDrain()
+    if policy == "staggered":
+        return StaggeredDrain()
+    if policy == "budgeted":
+        if budget_w is None:
+            raise ConfigError(
+                "the budgeted drain policy needs power_budget_w=")
+        return BudgetedDrain(budget_w)
+    raise ConfigError(
+        f"unknown drain policy {policy!r}; expected one of {DRAIN_POLICIES}")

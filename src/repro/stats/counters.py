@@ -6,6 +6,7 @@ energy models (which interpret the counts) stay separate and testable.
 """
 
 from collections import Counter
+from collections.abc import Iterable
 from dataclasses import dataclass, field
 
 from repro.stats.events import AesKind, MacKind, ReadKind, WriteKind
@@ -78,6 +79,19 @@ class SimStats:
     def copy(self) -> "SimStats":
         out = SimStats()
         out.merge(self)
+        return out
+
+    @classmethod
+    def aggregate(cls, parts: Iterable["SimStats"]) -> "SimStats":
+        """Fold many per-shard/per-episode stats into one fleet total.
+
+        Pure composition of :meth:`merge` — order-independent, leaves the
+        inputs untouched — so the aggregate of N shard runs equals the
+        stats a single fused run would have recorded.
+        """
+        out = cls()
+        for part in parts:
+            out.merge(part)
         return out
 
     def diff(self, earlier: "SimStats") -> "SimStats":

@@ -174,3 +174,38 @@ class TestNosecIsLostNotSilent:
         Adversary(system.nvm).tamper(address, xor_mask=mask)
         outcome, _detail = run_recovery_and_sweep(system, expected)
         assert outcome in (RECOVERED, LOST_UNPROTECTED)
+
+
+class TestTenantSpliceNeverSilent:
+    """The cross-tenant transplant cells: for every secure variant and
+    every applicable injection window, moving one tenant's (ciphertext,
+    MAC slot) pair into another tenant's range is never silent."""
+
+    @given(data=st.data())
+    @settings(max_examples=examples(12), deadline=None)
+    def test_tenant_splice_cell_any_window(self, tiny_config, data):
+        from repro.campaigns.engine import run_campaign_cell
+        from repro.campaigns.scenarios import (
+            WINDOWS,
+            Scenario,
+            applicability,
+        )
+
+        scheme, rotate = data.draw(st.sampled_from(SECURE_VARIANTS))
+        window = data.draw(st.sampled_from(WINDOWS))
+        scenario = Scenario("splice", "tenant")
+        assume(applicability(scheme, scenario, window) is None)
+        cell = run_campaign_cell(tiny_config, scheme, rotate, scenario,
+                                 window)
+        assert cell.outcome != SILENT, (scheme, rotate, window, cell.detail)
+
+    def test_pre_recovery_tenant_splice_detected_on_base_eu(self,
+                                                            tiny_config):
+        """Base-EU has no recovery to repair the medium, so the relocated
+        pair must be *detected* at first use, not merely not-silent."""
+        from repro.campaigns.engine import run_campaign_cell
+        from repro.campaigns.scenarios import PRE_RECOVERY, Scenario
+
+        cell = run_campaign_cell(tiny_config, "base-eu", False,
+                                 Scenario("splice", "tenant"), PRE_RECOVERY)
+        assert cell.outcome == DETECTED, cell.detail

@@ -32,6 +32,21 @@ class TestCliSubcommands:
                      "--tamper", "0x1000"]) == 1
         assert "FAILURES" in capsys.readouterr().out
 
+    def test_shards_fleet_summary(self, capsys):
+        assert main(["shards", "--shards", "2", "--scheme", "base-eu",
+                     "--scale", "128", "--tenants", "4", "--ops", "200",
+                     "--jobs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "fleet: 2 shards x base-eu" in out
+        assert "fleet totals: 200 routed ops" in out
+        assert "simultaneous drain wall" in out
+
+    def test_shards_staggered_policy(self, capsys):
+        assert main(["shards", "--shards", "3", "--scheme", "horus-dlm",
+                     "--scale", "128", "--tenants", "6", "--ops", "120",
+                     "--jobs", "1", "--drain-policy", "staggered"]) == 0
+        assert "staggered drain wall" in capsys.readouterr().out
+
     def test_no_subcommand_runs_experiments(self, capsys):
         assert main(["fig16", "--scale", "128"]) == 0
         assert "fig16" in capsys.readouterr().out

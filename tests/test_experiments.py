@@ -92,7 +92,7 @@ class TestRunner:
                     "ablation-wear", "ablation-parallelism",
                     "ablation-runtime", "ablation-availability",
                     "ablation-scheduler", "ablation-faults",
-                    "ablation-campaigns", "headline"}
+                    "ablation-campaigns", "ablation-shards", "headline"}
         assert expected <= set(EXPERIMENTS)
 
     def test_run_experiments_subset(self):

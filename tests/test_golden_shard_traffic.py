@@ -1,0 +1,106 @@
+"""Golden sharded traffic: per-shard op counts and NVM images, pinned.
+
+A 4-shard fleet replaying a fixed tenant mix is deterministic shard by
+shard: routed op counts, every stats counter, the cache access mix, and
+each shard's persisted image are pure functions of (config, scheme, plan).
+The exact values for base-eu and horus-dlm at scaled(128) are committed as
+``tests/golden/shard_traffic.json``; regenerate deliberately with:
+
+    REPRO_REGOLDEN=1 PYTHONPATH=src python -m pytest tests/test_golden_shard_traffic.py
+
+Every committed shard entry is additionally cross-checked against the
+closed-form replay invariants in :mod:`repro.core.analytic`, so a
+regeneration can never silently commit counters the model rejects.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.common.config import SystemConfig
+from repro.core.analytic import validate_replay_counts
+from repro.sharding.keys import TenantKeyring
+from repro.sharding.pool import make_plan
+from repro.sharding.system import ShardedSecureSystem, nvm_image_sha256
+from repro.workloads.tenantmix import TenantMixer
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "shard_traffic.json"
+SCALE = 128
+NUM_SHARDS = 4
+SCHEMES = ("base-eu", "horus-dlm")
+TENANTS = 16
+TOTAL_OPS = 6000
+MASTER_SEED = 87
+DRAIN_SEED = 23
+
+
+def shard_traffic(scheme: str) -> list[dict]:
+    config = SystemConfig.scaled(SCALE)
+    plan = make_plan(config, NUM_SHARDS, TENANTS, TOTAL_OPS,
+                     master_seed=MASTER_SEED)
+    fleet = ShardedSecureSystem(config, num_shards=NUM_SHARDS, scheme=scheme,
+                                keyring=TenantKeyring(plan.extents()))
+    fleet.replay(TenantMixer(plan).mix())
+    entries = []
+    for observed, system in zip(fleet.observables(), fleet.shards):
+        # Replay-time counters first: the analytic cross-check models the
+        # replay, not the drain that follows.
+        entries.append({
+            "ops": observed.ops,
+            "op_reads": observed.op_reads,
+            "op_writes": observed.op_writes,
+            "access_counts": dict(system.hierarchy.access_counts),
+            "stats": system.stats.snapshot(),
+        })
+    # The image is hashed *post-drain*: at this scale the LLC holds the
+    # whole working set, so only the drain persists anything observable.
+    fleet.crash(seed=DRAIN_SEED)
+    for entry, system in zip(entries, fleet.shards):
+        entry["nvm_sha256"] = nvm_image_sha256(system)
+    return entries
+
+
+def current() -> dict:
+    return {scheme: shard_traffic(scheme) for scheme in SCHEMES}
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict:
+    if os.environ.get("REPRO_REGOLDEN") == "1":
+        GOLDEN_PATH.parent.mkdir(exist_ok=True)
+        GOLDEN_PATH.write_text(
+            json.dumps(current(), indent=2, sort_keys=True) + "\n")
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+class TestGoldenShardTraffic:
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_fleet_matches_fixture(self, golden, scheme):
+        assert shard_traffic(scheme) == golden[scheme], (
+            f"4-shard {scheme} traffic drifted from the committed fixture; "
+            f"if intentional, regenerate with REPRO_REGOLDEN=1")
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_every_shard_satisfies_closed_form(self, golden, scheme):
+        """Each shard is a solo replay of its routed sub-trace, so each
+        committed entry must obey the analytic replay invariants."""
+        for entry in golden[scheme]:
+            validate_replay_counts(scheme, entry["ops"],
+                                   entry["access_counts"], entry["stats"])
+
+    @pytest.mark.parametrize("scheme", SCHEMES)
+    def test_routing_is_conserved_and_images_distinct(self, golden, scheme):
+        entries = golden[scheme]
+        assert len(entries) == NUM_SHARDS
+        assert sum(entry["ops"] for entry in entries) == TOTAL_OPS
+        assert all(entry["ops"] > 0 for entry in entries)
+        images = [entry["nvm_sha256"] for entry in entries]
+        assert len(set(images)) == NUM_SHARDS
+
+    def test_schemes_persist_different_images(self, golden):
+        for ours, theirs in zip(golden["base-eu"], golden["horus-dlm"]):
+            assert ours["nvm_sha256"] != theirs["nvm_sha256"]
+            # Routing is scheme-independent: same ops either way.
+            assert ours["ops"] == theirs["ops"]

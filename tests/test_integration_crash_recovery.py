@@ -99,3 +99,105 @@ class TestBaselineEquivalence:
         reference = finals["base-lu"]
         for scheme, state in finals.items():
             assert state == reference, scheme
+
+
+class TestShardedFleetCrashRecovery:
+    """Coordinated cross-shard drains: policies schedule, never corrupt —
+    and a mid-stagger power cut fails closed on the cut shard while every
+    fully-drained shard still recovers exactly."""
+
+    NUM_SHARDS = 3
+    CRASH_SEED = 19
+
+    def fleet_with_state(self, config, policy, **kwargs):
+        from repro.sharding.system import ShardedSecureSystem
+
+        fleet = ShardedSecureSystem(config, num_shards=self.NUM_SHARDS,
+                                    scheme="horus-dlm", drain_policy=policy,
+                                    **kwargs)
+        size = fleet.router.shard_data_size
+        expected = {}
+        for i in range(5 * self.NUM_SHARDS):
+            address = (i % self.NUM_SHARDS) * size + (i // 3) * 64
+            data = bytes([i + 1]) * 64
+            fleet.write(address, data)
+            expected[address] = data
+        return fleet, expected
+
+    def recover_and_verify(self, fleet, expected):
+        for shard in fleet.shards:
+            shard.nvm.restore_power()
+        fleet.recover()
+        for address, data in expected.items():
+            assert fleet.read(address) == data, hex(address)
+
+    def total_drain_writes(self, config):
+        """Probe a twin fleet for the full drain's fleet-total writes."""
+        twin, _ = self.fleet_with_state(config, "staggered")
+        report = twin.crash(seed=self.CRASH_SEED)
+        return [r.total_writes for r in report.reports]
+
+    @pytest.mark.parametrize("policy", ["simultaneous", "staggered"])
+    def test_policies_preserve_recovered_state(self, tiny_config, policy):
+        """Scheduling must not change drain content: both policies recover
+        the same workload state exactly."""
+        fleet, expected = self.fleet_with_state(tiny_config, policy)
+        report = fleet.crash(seed=self.CRASH_SEED)
+        assert report.schedule.policy == policy
+        self.recover_and_verify(fleet, expected)
+
+    def test_staggered_and_simultaneous_drains_are_identical(
+            self, tiny_config):
+        """Per-shard drain observables (blocks flushed, seconds, energy)
+        are policy-invariant; only the schedule differs."""
+        stag, _ = self.fleet_with_state(tiny_config, "staggered")
+        sim, _ = self.fleet_with_state(tiny_config, "simultaneous")
+        a = stag.crash(seed=self.CRASH_SEED)
+        b = sim.crash(seed=self.CRASH_SEED)
+        assert [r.flushed_blocks for r in a.reports] == \
+            [r.flushed_blocks for r in b.reports]
+        assert [r.seconds for r in a.reports] == \
+            [r.seconds for r in b.reports]
+        assert a.wall_seconds >= b.wall_seconds
+        assert stag.observables() == sim.observables()
+
+    def test_budgeted_fleet_respects_its_power_budget(self, tiny_config):
+        from repro.sharding.drain import shard_power_w
+
+        probe, _ = self.fleet_with_state(tiny_config, "simultaneous")
+        report = probe.crash(seed=self.CRASH_SEED)
+        budget = max(shard_power_w(r, e)
+                     for r, e in zip(report.reports, report.energies))
+        fleet, expected = self.fleet_with_state(
+            tiny_config, "budgeted", power_budget_w=budget)
+        budgeted = fleet.crash(seed=self.CRASH_SEED)
+        assert budgeted.schedule.peak_power_w <= budget * (1 + 1e-9)
+        self.recover_and_verify(fleet, expected)
+
+    def test_mid_stagger_cut_after_full_budget_recovers_everything(
+            self, tiny_config):
+        """A cut that lands after the last drain write loses nothing."""
+        writes = self.total_drain_writes(tiny_config)
+        fleet, expected = self.fleet_with_state(tiny_config, "staggered")
+        fleet.crash(seed=self.CRASH_SEED, cut_after_writes=sum(writes))
+        self.recover_and_verify(fleet, expected)
+
+    def test_mid_stagger_cut_fails_closed_per_shard(self, tiny_config):
+        """Power dies while shard 1 is draining: shard 0 (already done)
+        recovers exactly, the truncated shards are *detected* at recovery
+        — never silently wrong."""
+        from repro.common.errors import SecurityError
+
+        writes = self.total_drain_writes(tiny_config)
+        fleet, expected = self.fleet_with_state(tiny_config, "staggered")
+        fleet.crash(seed=self.CRASH_SEED,
+                    cut_after_writes=writes[0] + writes[1] // 2)
+        survivor = fleet.shards[0]
+        survivor.recover()
+        size = fleet.router.shard_data_size
+        for address, data in expected.items():
+            if address < size:
+                assert fleet.read(address) == data, hex(address)
+        for cut_shard in fleet.shards[1:]:
+            with pytest.raises(SecurityError):
+                cut_shard.recover()

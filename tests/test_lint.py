@@ -428,7 +428,7 @@ class TestTypingBaseline:
     """pyproject's strict set and mypy-baseline.txt must partition src/repro."""
 
     STRICT = {"repro.campaigns", "repro.common", "repro.crypto",
-              "repro.metadata", "repro.stats"}
+              "repro.metadata", "repro.sharding", "repro.stats"}
 
     @staticmethod
     def all_packages():

@@ -48,6 +48,15 @@ BATCH_COVERAGE = {
     "SecureMemoryController.run_ops_batch":
         "TestRunOpsEquivalence + oracle replay "
         "(repro.core.oracle.run_replay_differential)",
+    "TenantKeyedAes.encrypt_batch":
+        "tests/test_sharding_keys.py::TestTenantKeyedAes"
+        "::test_batch_matches_scalar_across_tenant_runs",
+    "TenantKeyedAes.decrypt_batch":
+        "tests/test_sharding_keys.py::TestTenantKeyedAes"
+        "::test_batch_matches_scalar_across_tenant_runs",
+    "TenantKeyedMac.block_mac_batch":
+        "tests/test_sharding_keys.py::TestTenantKeyedMac"
+        "::test_block_mac_batch_matches_scalar",
     "BlockArena.from_blocks":
         "tests/test_prop_arena.py::TestBlockArena (round-trip vs from_block)",
     "NvmDevice.read_arena":

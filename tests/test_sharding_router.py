@@ -1,0 +1,133 @@
+"""ShardRouter: total, disjoint, order-preserving address-range routing."""
+
+import pytest
+
+from repro.common.errors import AddressError, ConfigError
+from repro.sharding.router import MAX_SHARDS, ShardRouter
+from repro.workloads.trace import MemoryOp, OpKind
+from repro.workloads.ycsb import ycsb_trace
+
+
+def sample_addresses(router, per_shard=8):
+    """Line-aligned probes spread over every shard, including boundaries."""
+    size = router.shard_data_size
+    probes = []
+    for extent in router.extents:
+        step = max(64, size // per_shard // 64 * 64)
+        probes.extend(range(extent.base, extent.end, step))
+        probes.append(extent.end - 64)
+    return sorted(set(probes))
+
+
+class TestRouterConstruction:
+    def test_rejects_zero_shards(self, tiny_config):
+        with pytest.raises(ConfigError, match="shard count"):
+            ShardRouter(tiny_config, 0)
+
+    def test_rejects_oversized_fleet(self, tiny_config):
+        with pytest.raises(ConfigError, match="shard count"):
+            ShardRouter(tiny_config, MAX_SHARDS + 1)
+
+    @pytest.mark.parametrize("num_shards", [1, 2, 3, 7, 16])
+    def test_extents_tile_the_aggregate_space(self, tiny_config, num_shards):
+        router = ShardRouter(tiny_config, num_shards)
+        assert router.total_data_size == \
+            router.shard_data_size * num_shards
+        assert router.extents[0].base == 0
+        for earlier, later in zip(router.extents, router.extents[1:]):
+            assert earlier.end == later.base
+        assert router.extents[-1].end == router.total_data_size
+
+
+class TestAddressMapping:
+    @pytest.mark.parametrize("num_shards", [1, 2, 7, 16])
+    def test_routing_is_total_and_disjoint(self, tiny_config, num_shards):
+        """Every aligned address belongs to exactly one extent, and route()
+        agrees with that extent."""
+        router = ShardRouter(tiny_config, num_shards)
+        for address in sample_addresses(router):
+            owners = [extent.shard for extent in router.extents
+                      if extent.contains(address)]
+            assert len(owners) == 1, hex(address)
+            shard, local = router.route(address)
+            assert shard == owners[0] == router.shard_of(address)
+            assert 0 <= local < router.shard_data_size
+            assert local == router.to_local(address)
+
+    @pytest.mark.parametrize("num_shards", [1, 3, 16])
+    def test_global_local_roundtrip(self, tiny_config, num_shards):
+        router = ShardRouter(tiny_config, num_shards)
+        for address in sample_addresses(router):
+            shard, local = router.route(address)
+            assert router.to_global(shard, local) == address
+
+    def test_out_of_range_addresses_rejected(self, tiny_config):
+        router = ShardRouter(tiny_config, 4)
+        with pytest.raises(AddressError, match="outside aggregate"):
+            router.route(-64)
+        with pytest.raises(AddressError, match="outside aggregate"):
+            router.route(router.total_data_size)
+        with pytest.raises(AddressError, match="outside fleet"):
+            router.to_global(4, 0)
+        with pytest.raises(AddressError, match="outside shard"):
+            router.to_global(0, router.shard_data_size)
+
+
+class TestTraceSplitting:
+    def make_trace(self, router, num_ops=600, seed=5):
+        footprint = min(router.total_data_size // 64, 512)
+        return ycsb_trace("a", num_ops=num_ops,
+                          footprint_blocks=footprint, seed=seed)
+
+    @pytest.mark.parametrize("num_shards", [1, 2, 7])
+    def test_split_is_a_cross_shard_permutation(self, tiny_config,
+                                                num_shards):
+        """Every op lands in exactly one sub-trace, rebased but otherwise
+        intact, and per-shard order matches arrival order."""
+        router = ShardRouter(tiny_config, num_shards)
+        trace = self.make_trace(router)
+        parts = router.split(trace)
+        assert len(parts) == num_shards
+        assert sum(len(part) for part in parts) == len(trace)
+
+        cursors = [0] * num_shards
+        for op in trace:
+            shard, local = router.route(op.address)
+            routed = parts[shard][cursors[shard]]
+            cursors[shard] += 1
+            assert routed.kind is op.kind
+            assert routed.address == local
+            assert routed.data == op.data
+
+    def test_split_locals_stay_aligned_and_in_range(self, tiny_config):
+        router = ShardRouter(tiny_config, 4)
+        for part in router.split(self.make_trace(router)):
+            for op in part:
+                assert 0 <= op.address < router.shard_data_size
+                assert op.address % 64 == 0
+
+    def test_split_ops_equal_checked_construction(self, tiny_config):
+        """The fast-path rebased ops are indistinguishable from ops built
+        through the validating constructor."""
+        router = ShardRouter(tiny_config, 4)
+        for part in router.split(self.make_trace(router, num_ops=64)):
+            for op in part:
+                assert op == MemoryOp(op.kind, op.address, op.data)
+                assert hash(op) == hash(MemoryOp(op.kind, op.address,
+                                                 op.data))
+
+    def test_split_shard_zero_aliases_originals(self, tiny_config):
+        """Shard 0's base is zero, so its sub-trace reuses the input ops."""
+        router = ShardRouter(tiny_config, 2)
+        trace = [MemoryOp(OpKind.READ, 0),
+                 MemoryOp(OpKind.WRITE, router.shard_data_size, bytes(64))]
+        parts = router.split(trace)
+        assert parts[0][0] is trace[0]
+        assert parts[1][0] is not trace[1]
+        assert parts[1][0].address == 0
+
+    def test_split_rejects_out_of_range_ops(self, tiny_config):
+        router = ShardRouter(tiny_config, 2)
+        rogue = [MemoryOp(OpKind.READ, router.total_data_size)]
+        with pytest.raises(AddressError, match="outside aggregate"):
+            router.split(rogue)

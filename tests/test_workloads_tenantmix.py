@@ -1,0 +1,139 @@
+"""TenantMixer: seeded multi-tenant interleaving, containment, seed hygiene."""
+
+from collections import defaultdict
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.common.rng import spread_seed
+from repro.workloads.tenantmix import TenantMixer, TenantMixPlan
+from repro.workloads.trace import OpKind
+
+LINE = 64
+
+
+def make_plan(**overrides):
+    defaults = dict(num_tenants=8, total_ops=400,
+                    data_size=1 << 20, footprint_blocks=16,
+                    master_seed=42)
+    defaults.update(overrides)
+    return TenantMixPlan(**defaults)
+
+
+class TestPlanValidation:
+    def test_rejects_zero_tenants(self):
+        with pytest.raises(ConfigError, match="at least one tenant"):
+            make_plan(num_tenants=0)
+
+    def test_rejects_negative_ops(self):
+        with pytest.raises(ConfigError, match="negative"):
+            make_plan(total_ops=-1)
+
+    def test_rejects_unknown_workload_letter(self):
+        with pytest.raises(ConfigError, match="unknown YCSB"):
+            make_plan(workloads=("a", "x"))
+
+    def test_rejects_tenants_that_do_not_fit(self):
+        with pytest.raises(ConfigError, match="do not fit"):
+            make_plan(num_tenants=64, data_size=64 * 16 * LINE,
+                      footprint_blocks=32)
+
+
+class TestPlanGeometry:
+    def test_tenants_spread_over_the_whole_space(self):
+        """Bases cover the full data space (not packed from zero), so a
+        sharded fleet sees traffic on every shard."""
+        plan = make_plan()
+        assert plan.tenant_base(0) == 0
+        assert plan.tenant_base(plan.num_tenants - 1) >= \
+            plan.data_size - plan.tenant_stride
+        assert plan.tenant_stride % LINE == 0
+
+    def test_extents_are_disjoint_and_owned(self):
+        plan = make_plan()
+        extents = plan.extents()
+        assert len(extents) == plan.num_tenants
+        for extent in extents:
+            assert extent.size == plan.footprint_bytes
+            assert plan.tenant_of(extent.base) == extent.tenant_id
+            assert plan.tenant_of(extent.end - LINE) == extent.tenant_id
+        for earlier, later in zip(extents, extents[1:]):
+            assert earlier.end <= later.base
+
+    def test_tenant_of_rejects_gaps_and_negatives(self):
+        plan = make_plan(footprint_blocks=4)
+        assert plan.tenant_of(-LINE) == -1
+        assert plan.tenant_of(plan.tenant_base(0)
+                              + plan.footprint_bytes) == -1
+        assert plan.tenant_of(plan.data_size) == -1
+
+
+class TestMixing:
+    def test_mix_conserves_op_counts(self):
+        mixer = TenantMixer(make_plan())
+        mix = mixer.mix()
+        assert len(mix) == mixer.plan.total_ops
+        assert sum(mixer.tenant_ops) == mixer.plan.total_ops
+
+    def test_mix_is_deterministic_in_the_master_seed(self):
+        assert TenantMixer(make_plan()).mix() == \
+            TenantMixer(make_plan()).mix()
+        assert TenantMixer(make_plan(master_seed=43)).mix() != \
+            TenantMixer(make_plan()).mix()
+
+    def test_every_address_stays_in_its_tenants_extent(self):
+        plan = make_plan()
+        mixer = TenantMixer(plan)
+        for op in mixer.mix():
+            assert plan.tenant_of(op.address) >= 0, hex(op.address)
+
+    def test_per_tenant_subsequence_equals_standalone_trace(self):
+        """Stream determinism: the interleave permutes across tenants,
+        never within one."""
+        plan = make_plan()
+        mixer = TenantMixer(plan)
+        by_tenant = defaultdict(list)
+        for op in mixer.mix():
+            by_tenant[plan.tenant_of(op.address)].append(op)
+        for tenant in range(plan.num_tenants):
+            assert by_tenant[tenant] == mixer.tenant_trace(tenant), tenant
+
+    def test_popularity_is_zipf_skewed(self):
+        mixer = TenantMixer(make_plan(num_tenants=16, total_ops=2000))
+        assert mixer.tenant_ops[0] == max(mixer.tenant_ops)
+        assert mixer.tenant_ops[0] > 2 * mixer.tenant_ops[-1]
+
+    def test_writes_carry_full_lines(self):
+        for op in TenantMixer(make_plan()).mix():
+            if op.kind is OpKind.WRITE:
+                assert len(op.data) == LINE
+
+
+class TestSeedHygiene:
+    """The seed-collision regression: per-tenant seeds must be hashed from
+    (master_seed, tenant_id), never ``master_seed + i`` — with additive
+    seeds, tenant ``i`` under master ``s`` replays tenant ``i+1`` under
+    ``s-1`` exactly."""
+
+    def test_spread_seeds_do_not_slide(self):
+        assert spread_seed(5, "tenant", 0) != spread_seed(4, "tenant", 1)
+        assert spread_seed(5, "tenant", 0) != spread_seed(6, "tenant", -1)
+
+    def test_adjacent_masters_share_no_tenant_streams(self):
+        """No tenant's trace under master s appears anywhere under s-1."""
+        mixer_a = TenantMixer(make_plan(master_seed=5))
+        mixer_b = TenantMixer(make_plan(master_seed=4))
+        traces_b = {tuple((op.kind, op.address) for op in
+                          mixer_b.tenant_trace(t, num_ops=50))
+                    for t in range(mixer_b.plan.num_tenants)}
+        for tenant in range(mixer_a.plan.num_tenants):
+            trace = tuple((op.kind, op.address) for op in
+                          mixer_a.tenant_trace(tenant, num_ops=50))
+            assert trace not in traces_b, tenant
+
+    def test_tenant_seeds_are_pairwise_distinct(self):
+        mixer = TenantMixer(make_plan(num_tenants=64, total_ops=0,
+                                      data_size=1 << 22,
+                                      footprint_blocks=4))
+        seeds = [mixer.tenant_seed(t) for t in range(64)]
+        assert len(set(seeds)) == 64
