@@ -41,7 +41,7 @@ class EnergyModel:
     def __init__(self,
                  processor_power_w: float = PROCESSOR_DRAIN_POWER_W,
                  write_energy_j: float = NVM_WRITE_ENERGY_J,
-                 read_energy_j: float = NVM_READ_ENERGY_J):
+                 read_energy_j: float = NVM_READ_ENERGY_J) -> None:
         if min(processor_power_w, write_energy_j, read_energy_j) < 0:
             raise ValueError("energy parameters must be non-negative")
         self.processor_power_w = processor_power_w

@@ -20,19 +20,32 @@ survive aggressive refactors:
     Table I/II constants must come from :mod:`repro.common.constants`;
 ``R6`` stats accounting
     NVM data movement must go through the accounted
-    :class:`~repro.mem.nvm.NvmDevice` interface, never the raw backend.
+    :class:`~repro.mem.nvm.NvmDevice` interface, never the raw backend;
+``R0`` suppression hygiene
+    every ``# reprolint: disable=...`` comment must name registered rules.
 
-Run it as ``python -m repro.lint src tests`` (exit 0 = clean); see
-``docs/linting.md`` for rule details, suppression syntax
-(``# reprolint: disable=R4``), and how to add a rule.
+On top of the fast AST rules, ``--deep`` runs the reproflow dataflow
+engine (:mod:`repro.lint.flow`): a call graph over ``src/repro``, per-
+function taint propagation, and interprocedural summaries to a fixed
+point, powering **F1** key-domain taint, **F2** plaintext escape, **F3**
+fault-plan parity, **F4** hook forced-scalar, and **F5** counter
+monotonicity — with a shrink-only ``flow-baseline.txt`` mirroring the
+mypy baseline.
+
+Run it as ``python -m repro.lint src tests`` (exit 0 = clean) or
+``python -m repro.lint --deep --format sarif``; see ``docs/linting.md``
+for rule details, suppression syntax (``# reprolint: disable=R4``), and
+how to add a rule.
 """
 
 from repro.lint.core import RULES, Finding, Module, Project, Rule, register
+from repro.lint.flow.rules import FlowRule
 from repro.lint.runner import LintResult, lint_paths, main
 
 __all__ = [
     "RULES",
     "Finding",
+    "FlowRule",
     "LintResult",
     "Module",
     "Project",

@@ -1,0 +1,54 @@
+"""Shrink-only baseline for deep findings, mirroring ``mypy-baseline.txt``.
+
+``flow-baseline.txt`` holds fingerprints of known deep findings so the
+``--deep`` gate can land clean on day one and only ever tighten: entries
+may be *removed* as debt is paid down, never added (the meta-test in
+``tests/test_flow.py`` enforces the shrink-only direction).
+
+Fingerprints are line-number independent — ``rule|path|hash(message)`` —
+so unrelated edits that shift code do not churn the baseline.
+"""
+
+import hashlib
+
+from repro.lint.core import Finding
+
+BASELINE_FILENAME = "flow-baseline.txt"
+
+
+def fingerprint(finding: Finding) -> str:
+    """Stable identity for one deep finding (no line numbers)."""
+    digest = hashlib.sha256(finding.message.encode("utf-8")).hexdigest()[:12]
+    return f"{finding.rule}|{finding.path}|{digest}"
+
+
+def parse_baseline(text: str) -> set[str]:
+    """Fingerprints from baseline file text; ``#`` comments are ignored."""
+    entries: set[str] = set()
+    for line in text.splitlines():
+        stripped = line.strip()
+        if stripped and not stripped.startswith("#"):
+            entries.add(stripped)
+    return entries
+
+
+def apply_baseline(
+    findings: list[Finding], baseline: set[str],
+) -> tuple[list[Finding], list[Finding], set[str]]:
+    """Partition ``findings`` against the baseline.
+
+    Returns ``(fresh, baselined, unused)``: findings not covered by an
+    entry, findings covered (reported separately, never hidden), and
+    baseline entries that matched nothing (stale — safe to delete).
+    """
+    fresh: list[Finding] = []
+    baselined: list[Finding] = []
+    used: set[str] = set()
+    for finding in findings:
+        key = fingerprint(finding)
+        if key in baseline:
+            used.add(key)
+            baselined.append(finding)
+        else:
+            fresh.append(finding)
+    return fresh, baselined, baseline - used

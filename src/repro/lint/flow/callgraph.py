@@ -1,0 +1,255 @@
+"""Project call graph over reprolint modules.
+
+Python call resolution is necessarily heuristic in a static pass; this one
+is deliberately conservative about *which* edges get summary-level taint
+propagation (see :mod:`repro.lint.flow.summaries`):
+
+* ``self.m(...)`` resolves within the enclosing class and its project-local
+  base classes (by class name) — precise, and the only edges the F3/F4
+  guard-reachability checks use;
+* ``f(...)`` resolves to module-level functions, preferring the defining
+  module, then names imported into the calling module, then a unique
+  project-wide definition;
+* ``obj.m(...)`` resolves only when exactly one project class defines a
+  method named ``m`` (unambiguous); ambiguous method names fall back to
+  summary-free taint propagation so that, e.g., a ``controller.write`` call
+  is never confused with ``NvmDevice.write``.
+"""
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.lint.core import Module, Project, dotted_name
+
+FunctionNode = ast.FunctionDef | ast.AsyncFunctionDef
+
+
+@dataclass
+class FunctionInfo:
+    """One analyzable function or method."""
+
+    qualname: str
+    module: Module
+    node: FunctionNode
+    class_name: str | None = None
+    bases: tuple[str, ...] = ()
+    has_self: bool = False
+    params: tuple[str, ...] = ()
+    attr_writes: set[str] = field(default_factory=set)
+    """``self.<name>`` attributes this function assigns."""
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    @property
+    def is_public(self) -> bool:
+        return not self.node.name.startswith("_")
+
+
+def _param_names(node: FunctionNode, has_self: bool) -> tuple[str, ...]:
+    args = node.args
+    names = [a.arg for a in args.posonlyargs + args.args]
+    if has_self and names:
+        names = names[1:]
+    names.extend(a.arg for a in args.kwonlyargs)
+    return tuple(names)
+
+
+def _scan_attr_writes(node: FunctionNode) -> set[str]:
+    writes: set[str] = set()
+    for child in ast.walk(node):
+        targets: list[ast.expr] = []
+        if isinstance(child, ast.Assign):
+            targets = list(child.targets)
+        elif isinstance(child, (ast.AnnAssign, ast.AugAssign)):
+            targets = [child.target]
+        for target in targets:
+            if isinstance(target, ast.Attribute) \
+                    and isinstance(target.value, ast.Name) \
+                    and target.value.id == "self":
+                writes.add(target.attr)
+    return writes
+
+
+class CallGraph:
+    """Functions, classes, import tables, and resolved call edges."""
+
+    def __init__(self) -> None:
+        self.functions: dict[str, FunctionInfo] = {}
+        self.methods: dict[tuple[str, str], FunctionInfo] = {}
+        self.methods_by_name: dict[str, list[FunctionInfo]] = {}
+        self.module_functions: dict[tuple[str, str], FunctionInfo] = {}
+        self.functions_by_name: dict[str, list[FunctionInfo]] = {}
+        self.class_bases: dict[str, tuple[str, ...]] = {}
+        self.class_methods: dict[str, list[FunctionInfo]] = {}
+        self.imports: dict[str, dict[str, str]] = {}
+        """Per-module ``local name -> source module`` for from-imports."""
+        self.callers: dict[str, set[str]] = {}
+        self.self_callees: dict[str, set[str]] = {}
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def build(cls, project: Project, modules: list[Module]) -> "CallGraph":
+        graph = cls()
+        for module in modules:
+            graph._collect_module(module)
+        for info in graph.functions.values():
+            graph._collect_edges(info)
+        return graph
+
+    def _collect_module(self, module: Module) -> None:
+        imports: dict[str, str] = {}
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    imports[alias.asname or alias.name] = node.module
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    imports[local] = alias.name
+        self.imports[module.module] = imports
+
+        for node in module.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_function(module, node, None, ())
+            elif isinstance(node, ast.ClassDef):
+                bases = tuple(name for name in
+                              (dotted_name(base) for base in node.bases)
+                              if name is not None)
+                base_tails = tuple(name.split(".")[-1] for name in bases)
+                self.class_bases[node.name] = base_tails
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef)):
+                        self._add_function(module, item, node.name,
+                                           base_tails)
+
+    def _add_function(self, module: Module, node: FunctionNode,
+                      class_name: str | None,
+                      bases: tuple[str, ...]) -> None:
+        has_self = (class_name is not None
+                    and bool(node.args.posonlyargs or node.args.args)
+                    and not self._is_static(node))
+        if class_name is None:
+            qualname = f"{module.module}:{node.name}"
+        else:
+            qualname = f"{module.module}:{class_name}.{node.name}"
+        info = FunctionInfo(
+            qualname=qualname, module=module, node=node,
+            class_name=class_name, bases=bases, has_self=has_self,
+            params=_param_names(node, has_self),
+            attr_writes=_scan_attr_writes(node))
+        self.functions[qualname] = info
+        if class_name is None:
+            self.module_functions[(module.module, node.name)] = info
+            self.functions_by_name.setdefault(node.name, []).append(info)
+        else:
+            self.methods.setdefault((class_name, node.name), info)
+            self.methods_by_name.setdefault(node.name, []).append(info)
+            self.class_methods.setdefault(class_name, []).append(info)
+
+    @staticmethod
+    def _is_static(node: FunctionNode) -> bool:
+        for decorator in node.decorator_list:
+            name = dotted_name(decorator)
+            if name and name.split(".")[-1] == "staticmethod":
+                return True
+        return False
+
+    # -- resolution ---------------------------------------------------------
+
+    def resolve_self_method(self, class_name: str | None,
+                            method: str) -> FunctionInfo | None:
+        """``self.method`` lookup through the project-local base chain."""
+        seen: set[str] = set()
+        queue = [class_name] if class_name else []
+        while queue:
+            current = queue.pop(0)
+            if current is None or current in seen:
+                continue
+            seen.add(current)
+            info = self.methods.get((current, method))
+            if info is not None:
+                return info
+            queue.extend(self.class_bases.get(current, ()))
+        return None
+
+    def resolve_call(self, call: ast.Call,
+                     caller: FunctionInfo) -> list[FunctionInfo]:
+        """Callees of ``call`` eligible for summary application."""
+        func = call.func
+        if isinstance(func, ast.Name):
+            return self._resolve_name(func.id, caller)
+        if not isinstance(func, ast.Attribute):
+            return []
+        method = func.attr
+        if isinstance(func.value, ast.Name) and func.value.id == "self":
+            info = self.resolve_self_method(caller.class_name, method)
+            return [info] if info is not None else []
+        if isinstance(func.value, ast.Name):
+            # module-alias call (``batch.encrypt_blocks``)
+            source = self.imports.get(caller.module.module, {}) \
+                .get(func.value.id)
+            if source is not None:
+                info = self.module_functions.get((source, method))
+                if info is not None:
+                    return [info]
+        candidates = self.methods_by_name.get(method, [])
+        if len(candidates) == 1:
+            return [candidates[0]]
+        return []
+
+    def _resolve_name(self, name: str,
+                      caller: FunctionInfo) -> list[FunctionInfo]:
+        info = self.module_functions.get((caller.module.module, name))
+        if info is not None:
+            return [info]
+        source = self.imports.get(caller.module.module, {}).get(name)
+        if source is not None:
+            info = self.module_functions.get((source, name))
+            if info is not None:
+                return [info]
+        candidates = self.functions_by_name.get(name, [])
+        if len(candidates) == 1:
+            return [candidates[0]]
+        return []
+
+    # -- edges --------------------------------------------------------------
+
+    def _collect_edges(self, info: FunctionInfo) -> None:
+        self.callers.setdefault(info.qualname, set())
+        self.self_callees.setdefault(info.qualname, set())
+        for node in ast.walk(info.node):
+            if not isinstance(node, ast.Call):
+                continue
+            for callee in self.resolve_call(node, info):
+                self.callers.setdefault(callee.qualname, set()) \
+                    .add(info.qualname)
+                if (callee.class_name is not None
+                        and callee.class_name == info.class_name):
+                    self.self_callees[info.qualname].add(callee.qualname)
+        # ``self.m`` calls resolved through base classes still count as
+        # same-object dispatch for guard reachability.
+        for node in ast.walk(info.node):
+            if isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute) \
+                    and isinstance(node.func.value, ast.Name) \
+                    and node.func.value.id == "self":
+                callee = self.resolve_self_method(info.class_name,
+                                                  node.func.attr)
+                if callee is not None:
+                    self.self_callees[info.qualname].add(callee.qualname)
+
+    def transitive_self_closure(self, qualname: str) -> set[str]:
+        """``qualname`` plus everything reachable via same-object calls."""
+        seen: set[str] = set()
+        queue = [qualname]
+        while queue:
+            current = queue.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            queue.extend(self.self_callees.get(current, ()))
+        return seen

@@ -1,9 +1,10 @@
-"""The simulator-invariant rules (R1-R6).
+"""The simulator-invariant rules (R0-R6).
 
 Each rule encodes an invariant a past bug (or a near-miss) showed to be
 load-bearing; ``docs/linting.md`` links every rule to its motivating
 incident.  Rules are pure AST analyses: no imports of the checked code, no
-execution, so the lint can run on a broken tree.
+execution, so the lint can run on a broken tree.  (The deep flow rules
+F1-F5 live in :mod:`repro.lint.flow.rules`.)
 """
 
 import ast
@@ -11,6 +12,7 @@ import re
 from collections.abc import Iterator
 
 from repro.lint.core import (
+    RULES,
     Finding,
     Module,
     Project,
@@ -33,6 +35,30 @@ SIM_PACKAGES = (
 )
 """The deterministic simulator core: every observable these packages produce
 must be a pure function of (config, seeds, code version)."""
+
+
+@register
+class SuppressionHygieneRule(Rule):
+    """R0: suppression comments must name registered rules."""
+
+    name = "R0"
+    title = "suppression hygiene"
+    rationale = ("A suppression comment naming an unknown rule id (say, a "
+                 "typo like R99 for R4) suppresses nothing while looking "
+                 "like a vetted exemption.  Unknown ids are reported so "
+                 "every suppression in the tree provably refers to a real "
+                 "rule.")
+    scope = ()
+
+    def check(self, module: Module, project: Project) -> Iterator[Finding]:
+        for line, names in module.suppression_lines:
+            unknown = sorted(name for name in names if name not in RULES)
+            if unknown:
+                anchor = ast.Pass(lineno=line, col_offset=0)
+                yield module.finding(self, anchor, (
+                    f"suppression comment names unknown rule id(s) "
+                    f"{', '.join(unknown)}; it suppresses nothing — fix "
+                    f"the id or delete the comment"))
 
 
 @register

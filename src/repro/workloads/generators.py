@@ -8,6 +8,7 @@ and the crash-consistency integration tests.
 """
 
 import random
+from typing import Any, cast
 
 from repro.common.constants import CACHE_LINE_SIZE
 from repro.common.errors import ConfigError
@@ -39,7 +40,7 @@ def kvstore_trace(num_ops: int, footprint_blocks: int,
     """
     _check(footprint_blocks, num_ops)
     rng = make_rng(seed)
-    trace = []
+    trace: list[MemoryOp] = []
     for i in range(num_ops):
         key = rng.randrange(footprint_blocks)
         address = base + key * CACHE_LINE_SIZE
@@ -58,7 +59,7 @@ def analytics_scan_trace(num_passes: int, footprint_blocks: int,
     sparse update sprinkled in every ``update_every`` blocks."""
     _check(footprint_blocks, num_passes)
     rng = make_rng(seed)
-    trace = []
+    trace: list[MemoryOp] = []
     for _ in range(num_passes):
         for block in range(footprint_blocks):
             address = base + block * CACHE_LINE_SIZE
@@ -81,7 +82,7 @@ def graph_walk_trace(num_steps: int, footprint_blocks: int,
         raise ConfigError("locality must be in [0, 1]")
     rng = make_rng(seed)
     current = 0
-    trace = []
+    trace: list[MemoryOp] = []
     for _ in range(num_steps):
         if rng.random() < locality:
             current = (current + rng.randrange(-8, 9)) % footprint_blocks
@@ -105,7 +106,7 @@ def transactional_trace(num_txns: int, footprint_blocks: int,
     if txn_size <= 0:
         raise ConfigError("transaction size must be positive")
     rng = make_rng(seed)
-    trace = []
+    trace: list[MemoryOp] = []
     for _ in range(num_txns):
         blocks = [rng.randrange(footprint_blocks) for _ in range(txn_size)]
         for block in blocks:
@@ -118,7 +119,7 @@ def transactional_trace(num_txns: int, footprint_blocks: int,
     return trace
 
 
-def replay(system, trace: list[MemoryOp]) -> dict[int, bytes]:
+def replay(system: Any, trace: list[MemoryOp]) -> dict[int, bytes]:
     """Run a trace against a :class:`~repro.core.system.SecureEpdSystem`.
 
     Returns the expected final content per written address — the oracle the
@@ -128,7 +129,7 @@ def replay(system, trace: list[MemoryOp]) -> dict[int, bytes]:
     for op in trace:
         if op.kind is OpKind.WRITE:
             system.write(op.address, op.data)
-            expected[op.address] = op.data
+            expected[op.address] = cast(bytes, op.data)
         else:
             system.read(op.address)
     return expected

@@ -14,7 +14,7 @@ from repro.workloads.trace import MemoryOp, OpKind
 
 
 def op_to_json(op: MemoryOp) -> str:
-    record: dict = {"op": op.kind.value, "addr": op.address}
+    record: dict[str, object] = {"op": op.kind.value, "addr": op.address}
     if op.data is not None:
         record["data"] = base64.b64encode(op.data).decode("ascii")
     return json.dumps(record, separators=(",", ":"))
@@ -45,7 +45,7 @@ def save_trace(trace: list[MemoryOp], path: str | Path) -> Path:
 def load_trace(path: str | Path) -> list[MemoryOp]:
     """Read a JSON-lines trace file."""
     path = Path(path)
-    trace = []
+    trace: list[MemoryOp] = []
     with path.open() as handle:
         for line in handle:
             line = line.strip()

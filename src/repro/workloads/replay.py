@@ -29,6 +29,8 @@ non-inclusive hierarchies and systems that lack the batch hooks entirely
 (:class:`~repro.stats.runtime.RuntimePerfModel` accepts bare test doubles).
 """
 
+from typing import Any, cast
+
 from repro.common.constants import CACHE_LINE_SIZE
 from repro.common.errors import ConfigError
 from repro.stats.events import ReadKind, WriteKind
@@ -42,7 +44,7 @@ kernels, small enough that an epoch's deferred fills stay cache-resident."""
 _ZERO_BLOCK = bytes(CACHE_LINE_SIZE)
 
 
-def _eligible(system, batched: bool | None) -> bool:
+def _eligible(system: Any, batched: bool | None) -> bool:
     """Whether ``system`` can take the epoch-batched path."""
     if batched is None:
         batched = getattr(system, "batched", False)
@@ -61,7 +63,7 @@ def _eligible(system, batched: bool | None) -> bool:
     return True
 
 
-def _run_plain(nvm, mem_ops: "list[tuple[str, int, bytes | None]]") \
+def _run_plain(nvm: Any, mem_ops: "list[tuple[str, int, bytes | None]]") \
         -> "list[bytes | None]":
     """Non-secure memory side: the grouped-NVM equivalent of
     ``SecureEpdSystem._plain_fetch`` / ``_plain_writeback``."""
@@ -91,7 +93,7 @@ def _run_plain(nvm, mem_ops: "list[tuple[str, int, bytes | None]]") \
     return results
 
 
-def replay(system, trace: "list[MemoryOp]", *,
+def replay(system: Any, trace: "list[MemoryOp]", *,
            epoch_ops: int = DEFAULT_EPOCH_OPS,
            batched: bool | None = None) -> dict[int, bytes]:
     """Run a trace against a system, epoch-batched when possible.
@@ -121,7 +123,8 @@ def replay(system, trace: "list[MemoryOp]", *,
         else ("r", op.address, None)
         for op in trace]
     expected: dict[int, bytes] = {
-        op.address: op.data for op in trace if op.kind is write_kind}
+        op.address: cast(bytes, op.data)
+        for op in trace if op.kind is write_kind}
 
     for start in range(0, len(ops_buf), epoch_ops):
         mem_ops, fills = hierarchy.replay_epoch(

@@ -115,7 +115,7 @@ class TenantMixPlan:
 class TenantMixer:
     """Generate and interleave the plan's per-tenant streams."""
 
-    def __init__(self, plan: TenantMixPlan):
+    def __init__(self, plan: TenantMixPlan) -> None:
         self.plan = plan
         popularity = ZipfSampler(
             plan.num_tenants, plan.tenant_theta,

@@ -37,7 +37,7 @@ def _payload(rng: random.Random, key: int) -> bytes:
 
 class _Generator:
     def __init__(self, num_ops: int, footprint_blocks: int, base: int,
-                 theta: float, seed: int | None):
+                 theta: float, seed: int | None) -> None:
         if num_ops < 0:
             raise ConfigError("op count cannot be negative")
         self.rng = make_rng(seed)

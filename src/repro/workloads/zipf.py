@@ -61,7 +61,7 @@ class ZipfSampler:
     """Draws integers in ``[0, n)`` with P(k) proportional to 1/(k+1)^theta."""
 
     def __init__(self, n: int, theta: float = 0.99,
-                 seed: int | None = None):
+                 seed: int | None = None) -> None:
         if n <= 0:
             raise ConfigError("zipf population must be positive")
         if theta < 0:

@@ -46,10 +46,15 @@ class TestFramework:
             root / "tests/test_lint.py", root) == "tests.test_lint"
 
     def test_every_rule_is_registered_with_metadata(self):
-        assert sorted(RULES) == ["R1", "R2", "R3", "R4", "R5", "R6"]
+        assert sorted(RULES) == ["F1", "F2", "F3", "F4", "F5",
+                                 "R0", "R1", "R2", "R3", "R4", "R5", "R6"]
         for rule in RULES.values():
             assert rule.title
             assert rule.rationale
+
+    def test_deep_rules_are_exactly_the_flow_family(self):
+        deep = sorted(name for name, rule in RULES.items() if rule.deep)
+        assert deep == ["F1", "F2", "F3", "F4", "F5"]
 
     def test_unknown_rule_is_an_error_not_a_crash(self, tmp_path):
         result = run_lint(tmp_path, {"repro/core/a.py": "x = 1\n"},
@@ -66,6 +71,41 @@ class TestFramework:
         result = run_lint(tmp_path, {"repro/core/ok.py": "x = 1\n"})
         assert result.exit_code == 0
         assert result.files_checked == 1
+
+
+class TestR0SuppressionHygiene:
+    def test_unknown_rule_id_is_flagged_and_suppresses_nothing(
+            self, tmp_path):
+        # The bug class: a typo'd id looks like a vetted exemption but the
+        # real finding still fires — now both halves are visible.  (The
+        # fixture strings are concatenated so this test file's own raw
+        # source does not register the typo'd suppressions.)
+        result = run_lint(tmp_path, {
+            "repro/core/clock.py":
+                "import time  # reprolint: " "disable=R99\n"},
+            rules=["R0", "R1"])
+        assert rules_hit(result) == ["R0", "R1"]
+        r0 = [f for f in result.findings if f.rule == "R0"][0]
+        assert "R99" in r0.message
+        assert r0.line == 1
+
+    def test_known_rule_ids_are_clean(self, tmp_path):
+        result = run_lint(tmp_path, {
+            "repro/core/clock.py":
+                "import time  # reprolint: disable=R1\n"},
+            rules=["R0", "R1"])
+        assert result.findings == []
+        assert [f.rule for f in result.suppressed] == ["R1"]
+
+    def test_mixed_list_reports_only_the_unknown_ids(self, tmp_path):
+        result = run_lint(tmp_path, {
+            "repro/core/clock.py":
+                "# reprolint: " "disable-next-line=R1,F9\n"
+                "import time\n"}, rules=["R0", "R1"])
+        assert rules_hit(result) == ["R0"]
+        assert "F9" in result.findings[0].message
+        assert "R1" not in result.findings[0].message
+        assert [f.rule for f in result.suppressed] == ["R1"]
 
 
 class TestR1Determinism:
@@ -428,7 +468,8 @@ class TestTypingBaseline:
     """pyproject's strict set and mypy-baseline.txt must partition src/repro."""
 
     STRICT = {"repro.campaigns", "repro.common", "repro.crypto",
-              "repro.metadata", "repro.sharding", "repro.stats"}
+              "repro.energy", "repro.metadata", "repro.sharding",
+              "repro.stats", "repro.workloads"}
 
     @staticmethod
     def all_packages():
