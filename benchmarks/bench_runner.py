@@ -26,6 +26,7 @@ import argparse
 import hashlib
 import json
 import platform
+import random
 import sys
 import time
 
@@ -49,6 +50,15 @@ REPLAY_ROUNDS = 3
 """Interleaved scalar/batched rounds for the replay metric: each round
 times both sides back to back, so background load lands on both and the
 min/min ratio stays honest."""
+
+CACHE_MODEL_OPS = 32_768
+"""Ops per synthetic mix of the cache-model metric (8 default epochs)."""
+
+CACHE_MODEL_MIXES = ("thrash", "all-hit", "zipf")
+"""The synthetic access mixes the cache-model metric cycles through:
+an LLC-thrashing sequential sweep (every steady-state access misses and
+evicts), an L1-resident round-robin (every access hits), and a skewed
+zipf-like draw (the YCSB-shaped middle ground)."""
 
 SHARD_COUNT = 4
 """Fleet size of the sharded-replay metric."""
@@ -126,6 +136,67 @@ def replay_trace(config: SystemConfig) -> list:
     from repro.workloads.ycsb import ycsb_trace
     return ycsb_trace("a", num_ops=REPLAY_OPS,
                       footprint_blocks=config.llc.num_lines * 2, seed=87)
+
+
+def cache_model_ops(kind: str, config: SystemConfig,
+                    num_ops: int = CACHE_MODEL_OPS,
+                    seed: int = 5) -> list:
+    """One synthetic op mix for the pure cache-model benchmark.
+
+    Already in :meth:`~repro.cache.hierarchy.CacheHierarchy.replay_epoch`'s
+    wire form — ``("w", address, payload)`` / ``("r", address, None)``
+    tuples, block-aligned, 50/50 read/write — so timing it exercises the
+    fused cache pass alone, with no trace objects and no memory side.
+    """
+    line_size = config.l1.line_size
+    if kind == "thrash":
+        footprint = config.llc.num_lines * 2
+        addresses = [i % footprint * line_size for i in range(num_ops)]
+    elif kind == "all-hit":
+        footprint = max(config.l1.num_lines // 2, 1)
+        addresses = [i % footprint * line_size for i in range(num_ops)]
+    elif kind == "zipf":
+        footprint = config.llc.num_lines * 4
+        draw = random.Random(seed).random
+        addresses = [int(footprint * draw() ** 4) * line_size
+                     for _ in range(num_ops)]
+    else:
+        raise ValueError(f"unknown cache-model mix {kind!r}")
+    payload = bytes(line_size)
+    flip = random.Random(seed + 1).random
+    return [("w", address, payload) if flip() < 0.5
+            else ("r", address, None)
+            for address in addresses]
+
+
+def replay_cache_model(config: SystemConfig, ops: list):
+    """Run ``ops`` through a bare hierarchy's fused epoch pass.
+
+    Markers are resolved with zero blocks in place of fetched data, so the
+    hierarchy stays well-formed across epochs while no NVM, crypto, or
+    controller work dilutes the measurement.
+    """
+    from repro.cache.hierarchy import CacheHierarchy
+    from repro.workloads.replay import DEFAULT_EPOCH_OPS
+
+    hierarchy = CacheHierarchy(config)
+    fill = bytes(config.l1.line_size)
+    with hierarchy.epoch_session():
+        for start in range(0, len(ops), DEFAULT_EPOCH_OPS):
+            _, fills = hierarchy.replay_epoch(
+                ops[start:start + DEFAULT_EPOCH_OPS])
+            hierarchy.resolve_pending(fills, [fill] * len(fills))
+    return hierarchy
+
+
+def _cache_model_wall(config: SystemConfig) -> float:
+    mixes = [cache_model_ops(kind, config) for kind in CACHE_MODEL_MIXES]
+
+    def once():
+        for ops in mixes:
+            replay_cache_model(config, ops)
+
+    return _best_of(once)
 
 
 def _replay_walls(scheme: str, config: SystemConfig) -> tuple[float, float]:
@@ -262,6 +333,14 @@ def run_benchmarks() -> dict:
     }
     metrics["replay:horus-dlm:speedup"] = {
         "kind": "ratio", "value": scalar_replay / batched_replay,
+    }
+
+    cache_model_s = _cache_model_wall(config)
+    metrics["replay:cache-model:mixed"] = {
+        "kind": "time", "seconds": cache_model_s,
+        "normalized": cache_model_s / calibration,
+        "ops_per_second":
+            CACHE_MODEL_OPS * len(CACHE_MODEL_MIXES) / cache_model_s,
     }
 
     scalar_fill, batched_fill = _fill_walls("horus-dlm", config)

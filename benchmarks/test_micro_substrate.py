@@ -1,11 +1,14 @@
-"""Microbenchmarks of the substrates the drain engines are built on."""
+"""Microbenchmarks of the substrates the drain and replay engines are
+built on."""
 
 from repro.common.config import SystemConfig
 from repro.core.system import SecureEpdSystem
 from repro.crypto.primitives import compute_mac, encrypt_block
 from repro.metadata.merkle import InMemoryMerkleTree
+from benchmarks.bench_runner import cache_model_ops, replay_cache_model
 
 CONFIG = SystemConfig.scaled(256)
+REPLAY_CONFIG = SystemConfig.scaled(128)
 KEY = b"bench-key"
 
 
@@ -43,6 +46,40 @@ def test_horus_vault_throughput(benchmark):
 
     report = benchmark.pedantic(vault_once, rounds=3, iterations=1)
     assert report.total_reads == 0
+
+
+def test_cache_model_thrash(benchmark):
+    """Pure fused-epoch replay of an LLC-thrashing sweep: every
+    steady-state access walks the full miss path (three-level probe,
+    LLC eviction with back-invalidation, marker install), so this is the
+    cache model's worst case — no memory side, no trace objects."""
+    ops = cache_model_ops("thrash", REPLAY_CONFIG)
+    hierarchy = benchmark.pedantic(
+        replay_cache_model, args=(REPLAY_CONFIG, ops), rounds=3,
+        iterations=1)
+    assert hierarchy.access_counts["miss"] > len(ops) // 2
+
+
+def test_cache_model_all_hit(benchmark):
+    """Pure fused-epoch replay of an L1-resident round-robin: after
+    warmup every access is the two-dict-op hit path, the cache model's
+    best case."""
+    ops = cache_model_ops("all-hit", REPLAY_CONFIG)
+    hierarchy = benchmark.pedantic(
+        replay_cache_model, args=(REPLAY_CONFIG, ops), rounds=3,
+        iterations=1)
+    assert hierarchy.access_counts["miss"] < len(ops) // 100
+
+
+def test_cache_model_zipf(benchmark):
+    """Pure fused-epoch replay of a skewed zipf-like draw — the
+    YCSB-shaped middle ground between the thrash and all-hit extremes."""
+    ops = cache_model_ops("zipf", REPLAY_CONFIG)
+    hierarchy = benchmark.pedantic(
+        replay_cache_model, args=(REPLAY_CONFIG, ops), rounds=3,
+        iterations=1)
+    counts = hierarchy.access_counts
+    assert 0 < counts["miss"] < len(ops) // 2
 
 
 def test_merkle_tree_build(benchmark):

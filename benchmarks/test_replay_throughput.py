@@ -2,20 +2,32 @@
 
 The acceptance gate for the batched runtime engine: replaying a 100k-op
 YCSB-A trace (working set twice the LLC) on horus-dlm at 1/128 scale must
-be at least 2.5x faster epoch-batched than scalar — while producing a
+be at least 2.75x faster epoch-batched than scalar — while producing a
 byte-identical NVM image and identical SimStats counters, cache hit rates,
 and access mix.
 
-The floor is the noise-safe edge of the measured speedup (3.1x with the
-arena-backed crypto/memory substrate; interleaved min/min wobbles by
-roughly 15% between runs on a loaded machine).  Raise it when the measured
-ratio moves, never ahead of it.
+The floor is the noise-safe edge of the measured speedup (2.9x with the
+struct-of-arrays cache model driving the replay core; interleaved min/min
+wobbles by roughly 5% between runs on a loaded machine).  Raise it when
+the measured ratio moves, never ahead of it.  The remaining wall splits
+roughly 0.13s cache / 0.10s mem / 0.03s other per 100k ops on the
+reference machine: the mem share is semantic crypto (BLAKE2b digests and
+the arena pad/MAC kernels) and the cache share is ~850k intrinsic C-dict
+operations, which bounds the pure-Python ratio near 3x — the original 10x
+target needs a compiled cache core, not more Python.
 
 Scalar and batched rounds are interleaved (each round times both back to
 back) and compared min/min, so transient background load lands on both
 sides and cancels out of the ratio.
+
+``REPRO_BENCH_GATE=0`` downgrades the speedup assertion to a report-only
+print — the CI pure-python job uses it to publish the ``REPRO_ARENA=0``
+ratio without gating on it (the fallback trades the numpy decomposition
+for per-op divmods and is expected to sit below the accelerated floor).
+Byte-identity is asserted unconditionally; the knob only relaxes speed.
 """
 
+import os
 import time
 
 from repro.common.config import SystemConfig
@@ -25,7 +37,7 @@ from benchmarks.bench_runner import REPLAY_ROUNDS, replay_trace
 
 CONFIG = SystemConfig.scaled(128)
 SCHEME = "horus-dlm"
-REPLAY_SPEEDUP_FLOOR = 2.5
+REPLAY_SPEEDUP_FLOOR = 2.75
 
 
 def _observe(system: SecureEpdSystem) -> dict:
@@ -59,7 +71,11 @@ def test_batched_replay_speedup_and_byte_identity():
     assert observed[True][0] == observed[False][0]
 
     speedup = walls[False] / walls[True]
-    assert speedup >= REPLAY_SPEEDUP_FLOOR, (
-        f"{SCHEME}: batched replay only {speedup:.2f}x faster than scalar "
+    message = (
+        f"{SCHEME}: batched replay {speedup:.2f}x faster than scalar "
         f"(scalar {walls[False] * 1e3:.0f} ms, "
         f"batched {walls[True] * 1e3:.0f} ms)")
+    if os.environ.get("REPRO_BENCH_GATE", "1") == "0":
+        print(f"\n[report-only] {message}")
+        return
+    assert speedup >= REPLAY_SPEEDUP_FLOOR, message

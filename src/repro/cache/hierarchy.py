@@ -15,22 +15,30 @@ Supports the two modes the paper exercises:
 
 from collections import Counter
 from collections.abc import Callable, Iterator
+from contextlib import contextmanager
+from typing import Any
 
 from repro.cache.cache import SetAssociativeCache
 from repro.cache.fill import (
+    PageAllocator,
     make_allocator,
     worst_case_addresses,
     worst_case_addresses_bulk,
 )
 from repro.cache.line import CacheLine
+from repro.cache.soa import SoALevel, decompose_sets
 from repro.common.config import SystemConfig
 from repro.common.errors import ConfigError
-from repro.common.rng import make_rng
+from repro.common.rng import Rng, make_rng
 from repro.crypto.arena import tile_u64
 from repro.crypto.batch import batching_enabled
 
 FetchFn = Callable[[int], bytes]
 WritebackFn = Callable[[int, bytes], None]
+
+#: Sentinel distinguishing "absent" from a legitimate ``None`` payload in
+#: the fused pass's lane probes (non-functional hierarchies carry ``None``).
+_MISSING = object()
 
 
 def _pattern_data(address: int) -> bytes:
@@ -58,7 +66,7 @@ class PendingFill:
         return f"PendingFill({self.address:#x})"
 
 
-def _raw_line(address: int, data, dirty: bool) -> CacheLine:
+def _raw_line(address: int, data: Any, dirty: bool) -> CacheLine:
     """A :class:`CacheLine` without ``__init__`` validation.
 
     The fused pass installs :class:`PendingFill` markers as payloads, which
@@ -93,9 +101,14 @@ class CacheHierarchy:
         self.llc = SetAssociativeCache(config.llc)
         self.fetch: FetchFn | None = None
         self.writeback: WritebackFn | None = None
-        self.access_counts: Counter = Counter()
+        self.access_counts: Counter[str] = Counter()
         """Where run-time accesses were served: 'l1' / 'l2' / 'llc' /
         'miss'.  Consumed by the run-time performance model."""
+        # Struct-of-arrays epoch state: None outside an epoch session.
+        # While set, the level dicts are empty and the SoA lanes are the
+        # sole representation (see cache/soa.py); every scalar entry point
+        # below materializes first via _ensure_materialized().
+        self._soa: "tuple[SoALevel, SoALevel, SoALevel] | None" = None
 
     @property
     def config(self) -> SystemConfig:
@@ -106,10 +119,67 @@ class CacheHierarchy:
         return (self.l1, self.l2, self.llc)
 
     def __len__(self) -> int:
+        self._ensure_materialized()
         return sum(len(level) for level in self.levels)
 
     def dirty_line_count(self) -> int:
+        self._ensure_materialized()
         return sum(1 for level in self.levels for _ in level.dirty_lines())
+
+    # ------------------------------------------------------------------
+    # Struct-of-arrays epoch sessions
+    # ------------------------------------------------------------------
+
+    def dematerialize(self) -> None:
+        """Flatten every level into its struct-of-arrays form.
+
+        Idempotent: entering twice is a no-op.  While dematerialized the
+        level dicts are empty — state lives in the SoA lanes until
+        :meth:`materialize` rebuilds the dict-of-``CacheLine`` form.
+        """
+        if self._soa is not None:
+            return
+        self._soa = (SoALevel.from_cache(self.l1),
+                     SoALevel.from_cache(self.l2),
+                     SoALevel.from_cache(self.llc))
+
+    def materialize(self) -> None:
+        """Rebuild the dict-of-``CacheLine`` form from the SoA lanes.
+
+        A no-op outside a session.  Orders (set order, LRU→MRU), values,
+        dirty bits, and payload-object identity (:class:`PendingFill`
+        markers included) are exactly what the dict pass would have left.
+        """
+        soa = self._soa
+        if soa is None:
+            return
+        self._soa = None
+        for soa_level, level in zip(soa, self.levels):
+            soa_level.restore(level)
+
+    @contextmanager
+    def epoch_session(self) -> Iterator["CacheHierarchy"]:
+        """Hold the hierarchy in SoA form across many :meth:`replay_epoch`
+        calls, amortizing the dematerialize/materialize boundary over a
+        whole trace instead of paying it per epoch."""
+        if self._soa is not None:
+            raise ConfigError("epoch sessions do not nest")
+        self.dematerialize()
+        try:
+            yield self
+        finally:
+            self.materialize()
+
+    def _ensure_materialized(self) -> None:
+        """Scalar entry points see dict state even mid-session.
+
+        Drains, fills, recovery, and the fault/attack paths all operate on
+        the dict-of-``CacheLine`` representation; any such call landing
+        inside an epoch session materializes first (the session's exit
+        materialize then becomes a no-op-then-rebuild on next epoch).
+        """
+        if self._soa is not None:
+            self.materialize()
 
     # ------------------------------------------------------------------
     # Drain-mode support
@@ -133,7 +203,7 @@ class CacheHierarchy:
         LRU orders and statistics, minus the per-line method and dataclass
         overhead that dominates paper-scale episode setup.
         """
-        self.invalidate_all()
+        self.invalidate_all()  # materializes any active epoch session
         allocator = make_allocator(self._config)
         rng = make_rng(seed)
         if batching_enabled(batched):
@@ -174,7 +244,8 @@ class CacheHierarchy:
 
         return len(self)
 
-    def _fill_worst_case_batched(self, allocator, rng) -> int:
+    def _fill_worst_case_batched(self, allocator: PageAllocator,
+                                 rng: Rng) -> int:
         """The :meth:`fill_worst_case` fast path: identical address streams
         (same allocator draws, same shuffles) installed with direct set-dict
         operations instead of per-line :meth:`SetAssociativeCache.insert`
@@ -279,6 +350,7 @@ class CacheHierarchy:
         the stream is shuffled, reflecting the paper's randomly-filled sparse
         contents.
         """
+        self._ensure_materialized()
         self._sync_coherence()
         lines = [line for level in self.levels for line in level.dirty_lines()]
         make_rng(seed).shuffle(lines)
@@ -300,6 +372,7 @@ class CacheHierarchy:
                     below.dirty = True
 
     def invalidate_all(self) -> None:
+        self._ensure_materialized()
         for level in self.levels:
             level.clear()
 
@@ -309,6 +382,7 @@ class CacheHierarchy:
         The paper's recovery option 1 places verified CHV blocks back in the
         LLC in dirty state.
         """
+        self._ensure_materialized()
         victim = self.llc.insert(CacheLine(address, data, dirty=True))
         if victim is not None and victim.dirty:
             self._do_writeback(victim)
@@ -324,10 +398,13 @@ class CacheHierarchy:
 
     def read(self, address: int) -> bytes:
         """Run-time read of one line."""
+        self._ensure_materialized()
         line = self.l1.lookup(address)
         if line is not None:
             self.access_counts["l1"] += 1
-            return line.data
+            # Payloads are None only in non-functional (counting-only)
+            # runs, whose callers ignore read results entirely.
+            return line.data  # type: ignore[return-value]
         if not self.inclusive:
             return self._read_non_inclusive(address)
 
@@ -339,14 +416,18 @@ class CacheHierarchy:
                 data = self._do_fetch(address)
                 self._install_llc(CacheLine(address, data, dirty=False))
                 line = self.llc.lookup(address, touch=False)
+                assert line is not None  # just installed
             else:
                 self.access_counts["llc"] += 1
             self._install(self.l2, CacheLine(line.address, line.data, False))
         else:
             self.access_counts["l2"] += 1
         l2_line = self.l2.lookup(address, touch=False)
+        assert l2_line is not None  # resident: hit above or just installed
         self._install(self.l1, CacheLine(l2_line.address, l2_line.data, False))
-        return self.l1.lookup(address, touch=False).data
+        line = self.l1.lookup(address, touch=False)
+        assert line is not None  # just installed
+        return line.data  # type: ignore[return-value]
 
     def _read_non_inclusive(self, address: int) -> bytes:
         """NINE (non-inclusive, non-exclusive) fill: hits anywhere copy the
@@ -356,7 +437,7 @@ class CacheHierarchy:
             if line is not None:
                 self.access_counts[name] += 1
                 self._install(self.l1, CacheLine(address, line.data, False))
-                return line.data
+                return line.data  # type: ignore[return-value]
         self.access_counts["miss"] += 1
         data = self._do_fetch(address)
         self._install(self.l1, CacheLine(address, data, dirty=False))
@@ -366,6 +447,7 @@ class CacheHierarchy:
         """Run-time write of one full line (write-allocate into L1)."""
         self.read(address)
         line = self.l1.lookup(address, touch=False)
+        assert line is not None  # read() write-allocated it
         line.data = data
         line.dirty = True
         # In the EPD model the whole hierarchy is persistent: visibility is
@@ -396,143 +478,184 @@ class CacheHierarchy:
         payload bytes, and dirty lines always hold real payloads (a line
         only becomes dirty through a trace write, which overwrites its
         marker), so emitted writebacks are marker-free.
+
+        The pass runs on the struct-of-arrays form (:mod:`repro.cache.soa`):
+        a direct call dematerializes on entry and materializes before
+        returning; callers replaying many epochs wrap the loop in
+        :meth:`epoch_session` to pay the boundary once per trace.
         """
         if not self.inclusive:
             raise ConfigError(
                 "fused epoch replay requires an inclusive hierarchy")
+        if self._soa is not None:
+            return self._replay_epoch_soa(ops)
+        self.dematerialize()
+        try:
+            return self._replay_epoch_soa(ops)
+        finally:
+            self.materialize()
+
+    def _replay_epoch_soa(self, ops: "list[tuple[str, int, bytes | None]]") \
+            -> "tuple[list[tuple[str, int, bytes | None]], list[PendingFill]]":
+        """The fused pass on SoA lanes: transcribes the dict pass exactly
+        (every hit/miss increment, ``access_counts`` bump, LRU movement,
+        victim choice, and emission lands in the same place), with an LRU
+        touch as a pop-and-reinsert on the payload lane, victim selection
+        as the lane's O(1) head pop, and dirtiness as one hash probe on
+        the dirty lane."""
+        soa = self._soa
+        assert soa is not None
+        soa1, soa2, soa3 = soa
         l1, l2, llc = self.l1, self.l2, self.llc
-        l1_sets, l2_sets, llc_sets = l1._sets, l2._sets, llc._sets
-        l1_ls, l2_ls, llc_ls = (l1.config.line_size, l2.config.line_size,
-                                llc.config.line_size)
-        l1_ns, l2_ns, llc_ns = (l1.config.num_sets, l2.config.num_sets,
-                                llc.config.num_sets)
-        l1_ways, l2_ways, llc_ways = (l1.config.ways, l2.config.ways,
-                                      llc.config.ways)
+        sets1, sets2, sets3 = soa1.sets, soa2.sets, soa3.sets
+        dty1, dty2, dty3 = soa1.dirty, soa2.dirty, soa3.dirty
+        w1, w2, w3 = soa1.ways, soa2.ways, soa3.ways
+        ls1, ns1 = soa1.line_size, soa1.num_sets
+        ls2, ns2 = soa2.line_size, soa2.num_sets
+        ls3, ns3 = soa3.line_size, soa3.num_sets
+        # One bulk pass per level turns every op address into its set index
+        # (vectorized under arena acceleration), and one C-level map per
+        # level turns the index lane into the payload-lane dicts themselves;
+        # the scalar core below then runs divmod-free on the trace addresses
+        # (victim merges recompute sets for *victim* addresses, which the
+        # lanes cannot cover — those are off the per-op path).
+        lane1, lane2, lane3 = decompose_sets(
+            [op[1] for op in ops], ((ls1, ns1), (ls2, ns2), (ls3, ns3)))
+        set1s = map(sets1.__getitem__, lane1)
+        set2s = map(sets2.__getitem__, lane2)
+        set3s = map(sets3.__getitem__, lane3)
+        missing = _MISSING
+        new_marker = PendingFill.__new__
+        marker_cls = PendingFill
         mem_ops: list[tuple[str, int, bytes | None]] = []
         fills: list[PendingFill] = []
         emit = mem_ops.append
         add_fill = fills.append
-        # Inline _raw_line: one line object per install, so even the call
-        # frame matters at trace scale.
-        new_line = CacheLine.__new__
         l1_hits = l1_misses = l2_hits = l2_misses = 0
         llc_hits = llc_misses = 0
         c_l1 = c_l2 = c_llc = c_miss = 0
 
         try:
-            for kind, address, payload in ops:
-                set1 = l1_sets[(address // l1_ls) % l1_ns]
-                line = set1.get(address)
-                if line is not None:
-                    # read(): L1 hit.
+            for (kind, address, payload), set1, set2, set3 in zip(
+                    ops, set1s, set2s, set3s):
+                hit = set1.pop(address, missing)
+                if hit is not missing:
+                    # read(): L1 hit — touch is a pop-and-reinsert (the
+                    # pop doubles as the presence probe).
                     l1_hits += 1
-                    set1[address] = set1.pop(address)
+                    set1[address] = hit
                     c_l1 += 1
                 else:
                     l1_misses += 1
-                    set2 = l2_sets[(address // l2_ls) % l2_ns]
-                    l2_line = set2.get(address)
-                    if l2_line is None:
+                    lower_data = set2.pop(address, missing)
+                    if lower_data is missing:
                         l2_misses += 1
-                        set3 = llc_sets[(address // llc_ls) % llc_ns]
-                        llc_line = set3.get(address)
-                        if llc_line is None:
+                        lower_data = set3.pop(address, missing)
+                        if lower_data is missing:
                             # read(): full miss — deferred fetch, then
                             # _install_llc + the touch=False re-lookup.
                             llc_misses += 1
                             c_miss += 1
-                            marker = PendingFill(address)
+                            marker = new_marker(marker_cls)
+                            marker.address = address
                             add_fill(marker)
                             emit(("r", address, None))
-                            llc_line = new_line(CacheLine)
-                            llc_line.address = address
-                            llc_line.data = marker
-                            llc_line.dirty = False
-                            if len(set3) >= llc_ways:
-                                victim = set3.pop(next(iter(set3)))
-                                set3[address] = llc_line
-                                vaddr = victim.address
-                                vdata, vdirty = victim.data, victim.dirty
-                                copy = l1_sets[(vaddr // l1_ls) % l1_ns] \
-                                    .pop(vaddr, None)
-                                if copy is not None and copy.dirty:
-                                    vdata, vdirty = copy.data, True
-                                copy = l2_sets[(vaddr // l2_ls) % l2_ns] \
-                                    .pop(vaddr, None)
-                                if copy is not None and copy.dirty:
-                                    vdata, vdirty = copy.data, True
+                            lower_data = marker
+                            if len(set3) >= w3:
+                                vaddr = next(iter(set3))
+                                vdata = set3.pop(vaddr)
+                                vdirty = vaddr in dty3
+                                if vdirty:
+                                    dty3.remove(vaddr)
+                                set3[address] = marker
+                                # Inclusion: back-invalidate upper copies,
+                                # taking their fresher data (L1 checked
+                                # first, an L2 copy overrides — exactly the
+                                # scalar _install_llc order).
+                                copy = sets1[vaddr // ls1 % ns1].pop(
+                                    vaddr, missing)
+                                if copy is not missing and vaddr in dty1:
+                                    dty1.remove(vaddr)
+                                    vdata = copy
+                                    vdirty = True
+                                copy = sets2[vaddr // ls2 % ns2].pop(
+                                    vaddr, missing)
+                                if copy is not missing and vaddr in dty2:
+                                    dty2.remove(vaddr)
+                                    vdata = copy
+                                    vdirty = True
                                 if vdirty:
                                     emit(("w", vaddr, vdata))
                             else:
-                                set3[address] = llc_line
+                                set3[address] = marker
                             llc_hits += 1
                         else:
-                            # read(): LLC hit.
+                            # read(): LLC hit — the probing pop plus this
+                            # reinsert is the LRU touch.
                             llc_hits += 1
-                            set3[address] = set3.pop(address)
+                            set3[address] = lower_data
                             c_llc += 1
                         # _install(l2, ...) + the touch=False re-lookup.
-                        l2_line = new_line(CacheLine)
-                        l2_line.address = address
-                        l2_line.data = llc_line.data
-                        l2_line.dirty = False
-                        if len(set2) >= l2_ways:
-                            victim = set2.pop(next(iter(set2)))
-                            set2[address] = l2_line
-                            vaddr = victim.address
-                            copy = l1_sets[(vaddr // l1_ls) % l1_ns] \
-                                .pop(vaddr, None)
-                            if copy is not None and copy.dirty:
-                                victim.data = copy.data
-                                victim.dirty = True
-                            if victim.dirty:
-                                below = llc_sets[(vaddr // llc_ls) % llc_ns] \
-                                    .get(vaddr)
-                                if below is None:
+                        if len(set2) >= w2:
+                            vaddr = next(iter(set2))
+                            vdata = set2.pop(vaddr)
+                            vdirty = vaddr in dty2
+                            if vdirty:
+                                dty2.remove(vaddr)
+                            set2[address] = lower_data
+                            copy = sets1[vaddr // ls1 % ns1].pop(
+                                vaddr, missing)
+                            if copy is not missing and vaddr in dty1:
+                                dty1.remove(vaddr)
+                                vdata = copy
+                                vdirty = True
+                            if vdirty:
+                                below = sets3[vaddr // ls3 % ns3]
+                                if vaddr not in below:
                                     llc_misses += 1
                                     raise ConfigError(
                                         f"inclusion violated: {vaddr:#x} in "
                                         f"{l2.name} but not in {llc.name}")
                                 llc_hits += 1
-                                below.data = victim.data
-                                below.dirty = True
+                                below[vaddr] = vdata
+                                dty3.add(vaddr)
                         else:
-                            set2[address] = l2_line
+                            set2[address] = lower_data
                     else:
-                        # read(): L2 hit.
+                        # read(): L2 hit — the probing pop plus this
+                        # reinsert is the LRU touch.
                         l2_hits += 1
-                        set2[address] = set2.pop(address)
+                        set2[address] = lower_data
                         c_l2 += 1
                     # read()'s unconditional touch=False L2 re-lookup.
                     l2_hits += 1
                     # _install(l1, ...) + the touch=False re-lookup.
-                    line = new_line(CacheLine)
-                    line.address = address
-                    line.data = l2_line.data
-                    line.dirty = False
-                    if len(set1) >= l1_ways:
-                        victim = set1.pop(next(iter(set1)))
-                        set1[address] = line
-                        if victim.dirty:
-                            vaddr = victim.address
-                            below = l2_sets[(vaddr // l2_ls) % l2_ns] \
-                                .get(vaddr)
-                            if below is None:
+                    if len(set1) >= w1:
+                        vaddr = next(iter(set1))
+                        vdata = set1.pop(vaddr)
+                        vdirty = vaddr in dty1
+                        if vdirty:
+                            dty1.remove(vaddr)
+                        set1[address] = lower_data
+                        if vdirty:
+                            below = sets2[vaddr // ls2 % ns2]
+                            if vaddr not in below:
                                 l2_misses += 1
                                 raise ConfigError(
                                     f"inclusion violated: {vaddr:#x} in "
                                     f"{l1.name} but not in {l2.name}")
                             l2_hits += 1
-                            below.data = victim.data
-                            below.dirty = True
+                            below[vaddr] = vdata
+                            dty2.add(vaddr)
                     else:
-                        set1[address] = line
+                        set1[address] = lower_data
                     l1_hits += 1
                 if kind == "w":
-                    # write(): the touch=False L1 re-lookup, then mutate.
+                    # write(): the touch=False L1 re-lookup, then mutate
+                    # in place (a value store keeps the LRU order).
                     l1_hits += 1
-                    line.data = payload
-                    line.dirty = True
+                    set1[address] = payload
+                    dty1.add(address)
         finally:
             l1.hits += l1_hits
             l1.misses += l1_misses
@@ -567,8 +690,20 @@ class CacheHierarchy:
         # A marker only ever resides at lines whose address matches it:
         # payloads move between levels strictly along same-address
         # install/merge chains, and a written line stops being a marker.
-        # Each fill therefore resolves with one set lookup per level
-        # instead of a full-hierarchy scan.
+        # Each fill therefore resolves with one lookup per level instead
+        # of a full-hierarchy scan — against the SoA index/payload lanes
+        # inside an epoch session, the set dicts otherwise.
+        soa = self._soa
+        if soa is not None:
+            lanes = [(level.sets, level.line_size, level.num_sets)
+                     for level in soa]
+            for marker, data in zip(fills, fetched):
+                address = marker.address
+                for sets, line_size, num_sets in lanes:
+                    lane = sets[address // line_size % num_sets]
+                    if lane.get(address) is marker:
+                        lane[address] = data
+            return
         levels = [(level._sets, level.config.line_size,
                    level.config.num_sets) for level in self.levels]
         for marker, data in zip(fills, fetched):
@@ -590,7 +725,9 @@ class CacheHierarchy:
     def _do_writeback(self, line: CacheLine) -> None:
         if self.writeback is None:
             raise ConfigError("hierarchy is not attached to a memory side")
-        self.writeback(line.address, line.data)
+        # Dirty lines carry real payloads in functional runs; handlers in
+        # counting-only runs never read the bytes.
+        self.writeback(line.address, line.data)  # type: ignore[arg-type]
 
     def _install(self, level: SetAssociativeCache, line: CacheLine) -> None:
         """Install into L1 or L2; dirty victims move toward memory.

@@ -10,6 +10,11 @@ import random
 
 DEFAULT_SEED = 0xC0FFEE
 
+#: Annotation alias so simulator-core modules can type an RNG parameter
+#: without importing :mod:`random` themselves (reprolint R1 bans the
+#: import there; the instances always come from :func:`make_rng`).
+Rng = random.Random
+
 _SPREAD_SEPARATOR = b"\x1f"
 
 

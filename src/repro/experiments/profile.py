@@ -166,3 +166,31 @@ def phase(name: str):
             seconds=time.perf_counter() - begin,
             worker=_PHASE_WORKER, source="computed",
             started=begin - _PHASE_START))
+
+
+def capturing() -> bool:
+    """Whether a :func:`capture_phases` context is active.
+
+    Hot paths that would pay per-iteration timer reads (epoch-batched
+    replay times three sub-steps per epoch) check this once and skip the
+    bookkeeping entirely outside ``--profile`` runs.
+    """
+    return _PHASES is not None
+
+
+def record_span(name: str, seconds: float, started_at: float) -> None:
+    """Record one pre-measured span (``kind="phase"``) on the active profile.
+
+    The aggregate counterpart of :func:`phase` for sub-phases whose
+    fragments interleave (e.g. the ``cache:`` / ``mem:`` / ``resolve:``
+    steps of every replay epoch): the caller accumulates wall time across
+    fragments and records each total once.  ``started_at`` is the
+    ``time.perf_counter()`` value the span should anchor to on the
+    timeline.  A no-op when no capture is active.
+    """
+    if _PHASES is None:
+        return
+    _PHASES.add(TimingRecord(
+        name=name, kind="phase", seconds=seconds,
+        worker=_PHASE_WORKER, source="computed",
+        started=started_at - _PHASE_START))

@@ -58,22 +58,32 @@ class MetadataCache:
         return self._sets[(address // CACHE_LINE_SIZE) % self._num_sets]
 
     def lookup(self, address: int) -> MetaLine | None:
+        # Single probe: pop-with-default both answers residency and starts
+        # the LRU touch (reinsert moves the line to MRU).  A miss leaves
+        # the set untouched.  The controller's fused segment path
+        # (SecureMemoryController._run_segment) transcribes this body
+        # inline against ``_sets`` for its counter and MAC stages — keep
+        # the two in sync when changing accounting or order semantics.
         cache_set = self._sets[(address // CACHE_LINE_SIZE) % self._num_sets]
-        line = cache_set.get(address)
+        line = cache_set.pop(address, None)
         if line is None:
             self.misses += 1
             return None
         self.hits += 1
-        cache_set[address] = cache_set.pop(address)
+        cache_set[address] = line
         return line
 
     def insert(self, line: MetaLine) -> MetaLine | None:
-        """Install ``line``, returning the evicted victim if the set was full."""
+        """Install ``line``, returning the evicted victim if the set was full.
+
+        A store to a resident address replaces the value, moves the line
+        to MRU (pop + reinsert), and never evicts.  Also transcribed
+        inline by the controller's fused segment path — see :meth:`lookup`.
+        """
         address = line.address
         cache_set = self._sets[(address // CACHE_LINE_SIZE) % self._num_sets]
         victim: MetaLine | None = None
-        if address in cache_set:
-            del cache_set[address]
+        if cache_set.pop(address, None) is not None:
             cache_set[address] = line
             return None
         if len(cache_set) >= self._ways:

@@ -39,6 +39,7 @@ from repro.stats.events import MacKind, ReadKind, WriteKind
 
 _ZERO_BLOCK = bytes(CACHE_LINE_SIZE)
 _MINOR_LIMIT = 1 << MINOR_COUNTER_BITS
+_READ_MAC = ReadKind.MAC
 
 
 class SecureMemoryController:
@@ -188,9 +189,15 @@ class SecureMemoryController:
                 append(read(address))
         return results
 
-    def run_ops_batch(self, ops: "list[tuple[str, int, bytes | None]]") \
-            -> list[bytes | None]:
+    def run_ops_batch(self, ops: "list[tuple[str, int, bytes | None]]",
+                      *, fetches: bool = False) -> list[bytes | None]:
         """Batched :meth:`run_ops`: phase-confined epoch execution.
+
+        With ``fetches=True`` the return value holds only the read
+        results, in op order — exactly the stream
+        :meth:`~repro.cache.hierarchy.CacheHierarchy.resolve_pending`
+        consumes (fills are emitted once per read, in issue order), so the
+        caller needs no per-epoch re-filter of the full op stream.
 
         Observably identical to the scalar form — same NVM image, same
         stats, same metadata-cache hits/misses/LRU states, same values —
@@ -224,21 +231,41 @@ class SecureMemoryController:
                 or nvm.wear is not None or self.op_hook is not None
                 or any(data is None
                        for kind, _, data in ops if kind == "w")):
-            return self.run_ops(ops)
-        results: list[bytes | None] = [None] * len(ops)
+            results = self.run_ops(ops)
+            if fetches:
+                # Cold path only (hooked / traced / non-functional runs):
+                # the scalar results carry one entry per op.
+                return [result for op, result in zip(ops, results)
+                        if op[0] == "r"]
+            return results
+        results = [None] * len(ops)
+        fetched: list[bytes | None] | None = [] if fetches else None
         start = 0
         while start < len(ops):
-            start = self._run_segment(ops, start, results)
-        return results
+            start = self._run_segment(ops, start, results, fetched)
+        return fetched if fetched is not None else results
 
     def _run_segment(self, ops: "list[tuple[str, int, bytes | None]]",
-                     start: int, results: list[bytes | None]) -> int:
+                     start: int, results: list[bytes | None],
+                     fetched: "list[bytes | None] | None" = None) -> int:
         """Execute one overflow-free segment of ``ops`` starting at
         ``start``; returns the index of the first unprocessed op."""
-        counter_block_address = self.layout.counter_block_address
-        ctr_lookup = self.counter_cache.lookup
+        layout = self.layout
+        counter_block_address = layout.counter_block_address
+        counter_cache = self.counter_cache
+        # The counter/MAC phases below transcribe MetadataCache.lookup /
+        # insert, _absorb_victim, and NvmDevice.read inline against the
+        # cache's set dicts: same probes, same LRU movement, same victim
+        # parking, same stats events — minus the per-access call chain,
+        # which dominates the memory-side profile of epoch replay.
+        ctr_sets = counter_cache._sets
+        ctr_ns = counter_cache._num_sets
+        ctr_base = layout._counters_base
+        ctr_end = layout._counters_end
+        data_size = layout._data_size
+        ctr_hits = ctr_misses = 0
         fill_counter = self._fill_counter_line
-        require_data_address = self.layout.require_data_address
+        require_data_address = layout.require_data_address
         on_data_write = self.scheme.on_data_write
         nvm = self.nvm
         is_written = nvm.backend.is_written
@@ -259,6 +286,16 @@ class SecureMemoryController:
         # the index's bitwise complement (both streams stay in op order, so
         # later stages use positional cursors instead of index maps).
         data_phase: list[int] = []
+        pending_add = pending_written.add
+        w_ops = write_ops.append
+        w_addrs = write_addrs.append
+        w_ctrs = write_ctrs.append
+        w_data = write_data.append
+        r_ops = read_ops.append
+        r_addrs = read_addrs.append
+        r_ctrs = read_ctrs.append
+        z_reads = zero_reads.append
+        dp = data_phase.append
 
         # Stage 1 — counter phase, in op order.  Increments, the scheme
         # hook (dirty marking / eager propagation), and counter/tree victim
@@ -267,55 +304,87 @@ class SecureMemoryController:
         overflow = -1
         n = len(ops)
         index = start
-        while index < n:
-            kind, address, data = ops[index]
-            if kind == "w":
-                cb_address = counter_block_address(address)
-                counter_line = ctr_lookup(cb_address)
-                if counter_line is None:
-                    counter_line = fill_counter(cb_address)
-                block: SplitCounterBlock = counter_line.value
-                slot = (address % COUNTER_BLOCK_COVERAGE) // CACHE_LINE_SIZE
-                # Inline of will_overflow/increment/counter_for for the
-                # non-overflow case — the only one that stays in the batch
-                # (the break leaves the block untouched for the scalar
-                # overflow tail below, exactly like will_overflow would).
-                minors = block.minors
-                minor = minors[slot] + 1
-                if minor >= _MINOR_LIMIT:
-                    overflow = index
-                    break
-                minors[slot] = minor
-                write_ops.append(index)
-                write_addrs.append(address)
-                write_ctrs.append(
-                    (block.major << MINOR_COUNTER_BITS) | minor)
-                write_data.append(data)  # type: ignore[arg-type]
-                pending_written.add(address)
-                data_phase.append(index)
-                on_data_write(self, counter_line)
-                if victims:
-                    drain(meta_kinds)
-            else:
-                data_phase.append(~index)
-                if is_written(address) or address in pending_written:
-                    cb_address = counter_block_address(address)
-                    counter_line = ctr_lookup(cb_address)
+        try:
+            while index < n:
+                kind, address, data = ops[index]
+                if kind == "w":
+                    cb_address = (ctr_base
+                                  + address // COUNTER_BLOCK_COVERAGE
+                                  * CACHE_LINE_SIZE)
+                    if (address % CACHE_LINE_SIZE or address < 0
+                            or address >= data_size
+                            or cb_address >= ctr_end):
+                        # Cold path: exact errors and region-tail handling.
+                        cb_address = counter_block_address(address)
+                    ctr_set = ctr_sets[cb_address // CACHE_LINE_SIZE % ctr_ns]
+                    counter_line = ctr_set.get(cb_address)
                     if counter_line is None:
+                        ctr_misses += 1
                         counter_line = fill_counter(cb_address)
-                    read_ops.append(index)
-                    read_addrs.append(address)
-                    read_ctrs.append(counter_line.value.counter_for(
-                        (address % COUNTER_BLOCK_COVERAGE) // CACHE_LINE_SIZE))
+                    else:
+                        ctr_hits += 1
+                        ctr_set[cb_address] = ctr_set.pop(cb_address)
+                    block: SplitCounterBlock = counter_line.value
+                    slot = (address % COUNTER_BLOCK_COVERAGE) \
+                        // CACHE_LINE_SIZE
+                    # Inline of will_overflow/increment/counter_for for the
+                    # non-overflow case — the only one that stays in the
+                    # batch (the break leaves the block untouched for the
+                    # scalar overflow tail below, exactly like
+                    # will_overflow would).
+                    minors = block.minors
+                    minor = minors[slot] + 1
+                    if minor >= _MINOR_LIMIT:
+                        overflow = index
+                        break
+                    minors[slot] = minor
+                    w_ops(index)
+                    w_addrs(address)
+                    w_ctrs((block.major << MINOR_COUNTER_BITS) | minor)
+                    w_data(data)  # type: ignore[arg-type]
+                    pending_add(address)
+                    dp(index)
+                    on_data_write(self, counter_line)
                     if victims:
                         drain(meta_kinds)
                 else:
-                    # Never-written memory reads as zeros with nothing to
-                    # verify — the scalar path touches no metadata either,
-                    # but it does validate the address first.
-                    require_data_address(address)
-                    zero_reads.append(index)
-            index += 1
+                    dp(~index)
+                    if is_written(address) or address in pending_written:
+                        cb_address = (ctr_base
+                                      + address // COUNTER_BLOCK_COVERAGE
+                                      * CACHE_LINE_SIZE)
+                        if (address % CACHE_LINE_SIZE or address < 0
+                                or address >= data_size
+                                or cb_address >= ctr_end):
+                            cb_address = counter_block_address(address)
+                        ctr_set = ctr_sets[cb_address // CACHE_LINE_SIZE
+                                           % ctr_ns]
+                        counter_line = ctr_set.get(cb_address)
+                        if counter_line is None:
+                            ctr_misses += 1
+                            counter_line = fill_counter(cb_address)
+                        else:
+                            ctr_hits += 1
+                            ctr_set[cb_address] = ctr_set.pop(cb_address)
+                        rblock = counter_line.value
+                        r_ops(index)
+                        r_addrs(address)
+                        r_ctrs((rblock.major << MINOR_COUNTER_BITS)
+                               | rblock.minors[(address
+                                                % COUNTER_BLOCK_COVERAGE)
+                                               // CACHE_LINE_SIZE])
+                        if victims:
+                            drain(meta_kinds)
+                    else:
+                        # Never-written memory reads as zeros with nothing
+                        # to verify — the scalar path touches no metadata
+                        # either, but it does validate the address first.
+                        require_data_address(address)
+                        z_reads(index)
+                index += 1
+        finally:
+            counter_cache.hits += ctr_hits
+            counter_cache.misses += ctr_misses
 
         # Stage 2 — one crypto batch for every write in the segment.
         write_macs: list[bytes]
@@ -378,40 +447,80 @@ class SecureMemoryController:
         # stream).
         stored_macs: list[bytes] = []
         mac_kind = ("mac",)
-        mac_block_address = self.layout.mac_block_address
-        mac_lookup = self.mac_cache.lookup
-        fill_mac = self._fill_mac_line
+        mac_block_address = layout.mac_block_address
+        mac_cache = self.mac_cache
+        mac_sets = mac_cache._sets
+        mac_ns = mac_cache._num_sets
+        mac_ways = mac_cache._ways
+        macs_base = layout._macs_base
+        macs_end = layout._macs_end
+        mac_span = CACHE_LINE_SIZE * MACS_PER_BLOCK
+        mac_hits = mac_misses = mac_reads = 0
+        backend_read = nvm.backend.read_block
+        new_meta = MetaLine.__new__
+        stored_append = stored_macs.append
         wpos = 0
         zpos = 0
         num_zero = len(zero_reads)
-        for entry in data_phase:
-            if entry >= 0:
-                address = ops[entry][1]
-                mac_value = write_macs[wpos]
-                wpos += 1
-            else:
-                op_index = ~entry
-                # Zero reads touch no MAC state (scalar returns before the
-                # MAC load); both streams are op-ordered, so one cursor
-                # suffices to skip them.
-                if zpos < num_zero and zero_reads[zpos] == op_index:
-                    zpos += 1
-                    continue
-                address = ops[op_index][1]
-                mac_value = None
-            mb_address = mac_block_address(address)
-            mac_line = mac_lookup(mb_address)
-            if mac_line is None:
-                mac_line = fill_mac(mb_address)
-            offset = ((address // CACHE_LINE_SIZE) % MACS_PER_BLOCK) * MAC_SIZE
-            if mac_value is not None:
-                mac_line.value[offset:offset + MAC_SIZE] = mac_value
-                mac_line.dirty = True
-            else:
-                stored_macs.append(
-                    bytes(mac_line.value[offset:offset + MAC_SIZE]))
-            if victims:
-                drain(mac_kind)
+        try:
+            for entry in data_phase:
+                if entry >= 0:
+                    address = ops[entry][1]
+                    mac_value = write_macs[wpos]
+                    wpos += 1
+                else:
+                    op_index = ~entry
+                    # Zero reads touch no MAC state (scalar returns before
+                    # the MAC load); both streams are op-ordered, so one
+                    # cursor suffices to skip them.
+                    if zpos < num_zero and zero_reads[zpos] == op_index:
+                        zpos += 1
+                        continue
+                    address = ops[op_index][1]
+                    mac_value = None
+                mb_address = macs_base + address // mac_span \
+                    * CACHE_LINE_SIZE
+                if mb_address >= macs_end:
+                    # Cold path: region-tail handling (addresses were
+                    # validated in the counter phase).
+                    mb_address = mac_block_address(address)
+                mac_set = mac_sets[mb_address // CACHE_LINE_SIZE % mac_ns]
+                mac_line = mac_set.get(mb_address)
+                if mac_line is None:
+                    mac_misses += 1
+                    buffered = victims.pop(mb_address, None)
+                    if buffered is not None:
+                        mac_line = buffered[0]
+                    else:
+                        mac_reads += 1
+                        mac_line = new_meta(MetaLine)
+                        mac_line.address = mb_address
+                        mac_line.value = bytearray(backend_read(mb_address))
+                        mac_line.dirty = False
+                    if len(mac_set) >= mac_ways:
+                        victim = mac_set.pop(next(iter(mac_set)))
+                        if victim.dirty:
+                            victims[victim.address] = (victim, "mac")
+                    mac_set[mb_address] = mac_line
+                else:
+                    mac_hits += 1
+                    mac_set[mb_address] = mac_set.pop(mb_address)
+                offset = (address // CACHE_LINE_SIZE) % MACS_PER_BLOCK \
+                    * MAC_SIZE
+                if mac_value is not None:
+                    mac_line.value[offset:offset + MAC_SIZE] = mac_value
+                    mac_line.dirty = True
+                else:
+                    stored_append(
+                        bytes(mac_line.value[offset:offset + MAC_SIZE]))
+                if victims:
+                    drain(mac_kind)
+        finally:
+            mac_cache.hits += mac_hits
+            mac_cache.misses += mac_misses
+            # Fold the per-fill MAC-region reads into one stats bump —
+            # SimStats is pure counting, so the fold is unobservable.
+            nvm.stats.record_read(_READ_MAC, mac_reads)
 
         # Stage 5 — batched verify + decrypt for the segment's reads.
         if read_ops:
@@ -431,6 +540,11 @@ class SecureMemoryController:
                                               (pos + 1) * CACHE_LINE_SIZE]
         for op_index in zero_reads:
             results[op_index] = _ZERO_BLOCK
+        if fetched is not None:
+            # The segment's reads, in op order (negative data_phase
+            # entries), appended to the caller's fill-aligned stream.
+            fetched.extend(results[~entry] for entry in data_phase
+                           if entry < 0)
 
         if overflow < 0:
             return n

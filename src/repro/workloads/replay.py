@@ -29,6 +29,7 @@ non-inclusive hierarchies and systems that lack the batch hooks entirely
 (:class:`~repro.stats.runtime.RuntimePerfModel` accepts bare test doubles).
 """
 
+import time
 from typing import Any, cast
 
 from repro.common.constants import CACHE_LINE_SIZE
@@ -66,8 +67,13 @@ def _eligible(system: Any, batched: bool | None) -> bool:
 def _run_plain(nvm: Any, mem_ops: "list[tuple[str, int, bytes | None]]") \
         -> "list[bytes | None]":
     """Non-secure memory side: the grouped-NVM equivalent of
-    ``SecureEpdSystem._plain_fetch`` / ``_plain_writeback``."""
-    results: list[bytes | None] = [None] * len(mem_ops)
+    ``SecureEpdSystem._plain_fetch`` / ``_plain_writeback``.
+
+    Returns the epoch's fetch results only, in op order — the
+    fill-aligned stream ``resolve_pending`` consumes directly (writes
+    produce no result, so there is nothing to filter out afterwards).
+    """
+    fetched: list[bytes | None] = []
     pos = 0
     total = len(mem_ops)
     while pos < total:
@@ -77,9 +83,7 @@ def _run_plain(nvm: Any, mem_ops: "list[tuple[str, int, bytes | None]]") \
             stop += 1
         if kind == "r":
             addresses = [mem_ops[i][1] for i in range(pos, stop)]
-            for i, block in zip(range(pos, stop),
-                                nvm.read_batch(addresses, ReadKind.DATA)):
-                results[i] = block
+            fetched.extend(nvm.read_batch(addresses, ReadKind.DATA))
         else:
             # Eligibility guarantees grouped_io (no trace/fault/wear), so
             # the run lands as one arena write: same image, same folded
@@ -90,7 +94,7 @@ def _run_plain(nvm: Any, mem_ops: "list[tuple[str, int, bytes | None]]") \
                 for i in range(pos, stop))
             nvm.write_arena(addresses, buffer, WriteKind.DATA)
         pos = stop
-    return results
+    return fetched
 
 
 def replay(system: Any, trace: "list[MemoryOp]", *,
@@ -126,14 +130,39 @@ def replay(system: Any, trace: "list[MemoryOp]", *,
         op.address: cast(bytes, op.data)
         for op in trace if op.kind is write_kind}
 
-    for start in range(0, len(ops_buf), epoch_ops):
-        mem_ops, fills = hierarchy.replay_epoch(
-            ops_buf[start:start + epoch_ops])
-        if controller is not None:
-            results = controller.run_ops_batch(mem_ops)
-        else:
-            results = _run_plain(nvm, mem_ops)
-        hierarchy.resolve_pending(
-            fills, [result for mem_op, result in zip(mem_ops, results)
-                    if mem_op[0] == "r"])
+    # Sub-phase spans for --profile timelines: the cache-model, memory-side,
+    # and marker-resolution shares of the replay wall, accumulated across
+    # epochs and recorded as three aggregate spans (placed back to back from
+    # the loop's start).  Timer reads are skipped entirely when no capture
+    # is active.
+    from repro.experiments.profile import capturing, record_span
+    profiled = capturing()
+    cache_s = mem_s = resolve_s = 0.0
+    loop_start = time.perf_counter() if profiled else 0.0
+    t0 = t1 = 0.0
+
+    with hierarchy.epoch_session():
+        for start in range(0, len(ops_buf), epoch_ops):
+            if profiled:
+                t0 = time.perf_counter()
+            mem_ops, fills = hierarchy.replay_epoch(
+                ops_buf[start:start + epoch_ops])
+            if profiled:
+                t1 = time.perf_counter()
+                cache_s += t1 - t0
+            if controller is not None:
+                fetched = controller.run_ops_batch(mem_ops, fetches=True)
+            else:
+                fetched = _run_plain(nvm, mem_ops)
+            if profiled:
+                t0 = time.perf_counter()
+                mem_s += t0 - t1
+            hierarchy.resolve_pending(fills, fetched)
+            if profiled:
+                resolve_s += time.perf_counter() - t0
+    if profiled:
+        record_span("cache:replay", cache_s, loop_start)
+        record_span("mem:replay", mem_s, loop_start + cache_s)
+        record_span("resolve:replay", resolve_s,
+                    loop_start + cache_s + mem_s)
     return expected

@@ -230,6 +230,35 @@ class TestR3BatchParity:
         assert "Engine.decrypt_batch" in result.findings[0].message
         assert "BATCH_COVERAGE" in result.findings[0].message
 
+    def test_epoch_method_requires_both_override_twins(self, tmp_path):
+        # replay_epoch's scalar specification is the read/write pair
+        # (TWIN_OVERRIDES), not a replay()/replay_block() method; with only
+        # read() present the conjunction fails.
+        result = run_lint(tmp_path, {"repro/cache/hier.py": """\
+            class Hierarchy:
+                def read(self, address):
+                    return None
+
+                def replay_epoch(self, ops):
+                    return [], []
+        """}, rules=["R3"])
+        assert rules_hit(result) == ["R3"]
+        assert "read() and write()" in result.findings[0].message
+
+    def test_epoch_method_with_scalar_pair_is_clean(self, tmp_path):
+        result = run_lint(tmp_path, {"repro/cache/hier.py": """\
+            class Hierarchy:
+                def read(self, address):
+                    return None
+
+                def write(self, address, data):
+                    pass
+
+                def replay_epoch(self, ops):
+                    return [], []
+        """}, rules=["R3"])
+        assert result.findings == []
+
     def test_coverage_half_skipped_without_map_or_oracle(self, tmp_path):
         # Scalar twin present, no tests/test_prop_batch.py and no oracle in
         # the fixture tree: only the twin half runs, so the tree is clean.
@@ -467,9 +496,9 @@ class TestRepositoryIsClean:
 class TestTypingBaseline:
     """pyproject's strict set and mypy-baseline.txt must partition src/repro."""
 
-    STRICT = {"repro.campaigns", "repro.common", "repro.crypto",
-              "repro.energy", "repro.metadata", "repro.sharding",
-              "repro.stats", "repro.workloads"}
+    STRICT = {"repro.cache", "repro.campaigns", "repro.common",
+              "repro.crypto", "repro.energy", "repro.metadata",
+              "repro.sharding", "repro.stats", "repro.workloads"}
 
     @staticmethod
     def all_packages():

@@ -48,6 +48,9 @@ BATCH_COVERAGE = {
     "SecureMemoryController.run_ops_batch":
         "TestRunOpsEquivalence + oracle replay "
         "(repro.core.oracle.run_replay_differential)",
+    "CacheHierarchy.replay_epoch":
+        "tests/test_prop_soa.py (SoA-vs-dict identity over arbitrary op "
+        "sequences) + oracle replay + tests/test_golden_replay.py",
     "TenantKeyedAes.encrypt_batch":
         "tests/test_sharding_keys.py::TestTenantKeyedAes"
         "::test_batch_matches_scalar_across_tenant_runs",
@@ -330,6 +333,39 @@ class TestRunOpsEquivalence:
         assert results_b[1] == data
         assert results_b[3] == data[::-1]
         assert results_b[4] == bytes(CACHE_LINE_SIZE)  # never written
+
+    @given(ops=op_lists(min_size=1))
+    @settings(max_examples=examples(25), deadline=None)
+    def test_fetches_stream_aligns_with_reads(self, ops):
+        """``fetches=True`` returns exactly the read results, in op order —
+        the fill-aligned stream ``resolve_pending`` consumes directly.
+        Regression pin for the epoch replay path, which used to re-filter
+        the full result stream against the op list (a misalignment hazard
+        once writes stopped producing entries)."""
+        scalar = _make_controller(False, "lazy")
+        batched = _make_controller(True, "lazy")
+        reference = scalar.run_ops(list(ops))
+        fetched = batched.run_ops_batch(list(ops), fetches=True)
+        assert fetched == [result for op, result in zip(ops, reference)
+                           if op[0] == "r"]
+
+    def test_fetches_alignment_survives_overflow_fallback(self):
+        """The mid-segment scalar fallback (minor-counter overflow) must
+        keep the fetches stream aligned too."""
+        from repro.crypto.counters import SplitCounterBlock
+
+        scalar = _make_controller(False, "lazy")
+        batched = _make_controller(True, "lazy")
+        for controller in (scalar, batched):
+            block: SplitCounterBlock = controller.get_counter_line(0).value
+            block.minors[0] = 126
+        ops = [("w", 0, bytes([i]) * 64) for i in range(4)] \
+            + [("r", 0, None), ("w", 64, bytes(64)), ("r", 64, None),
+               ("r", 128, None)]
+        reference = scalar.run_ops(list(ops))
+        fetched = batched.run_ops_batch(list(ops), fetches=True)
+        assert fetched == [result for op, result in zip(ops, reference)
+                           if op[0] == "r"]
 
     @pytest.mark.parametrize("scheme", ["lazy", "eager"])
     def test_minor_counter_overflow_stays_equivalent(self, scheme):
